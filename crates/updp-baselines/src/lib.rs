@@ -1,0 +1,38 @@
+//! # updp-baselines — the prior estimators of Table 1
+//!
+//! Every comparator the paper measures itself against, implemented from
+//! the original constructions (with pure-DP noise substitutions recorded
+//! in DESIGN.md where the originals use CDP/zCDP):
+//!
+//! | Module | Prior work | Assumptions | Privacy |
+//! |---|---|---|---|
+//! | [`nonprivate`] | textbook estimators | — | none |
+//! | [`naive_clip`] | folklore clipped Laplace | A1 | ε-DP |
+//! | [`kv18`] | Karwa–Vadhan histograms | A1, A2, A3 | ε-DP |
+//! | [`coinpress`] | KLSU19/BDKU20 iterative | A1, A2 | ε-DP (Laplace variant) |
+//! | [`ksu20`] | heavy-tailed truncated mean | A1, A2 | ε-DP |
+//! | [`bs19`] | trimmed mean, smooth sensitivity | A1 | ε-DP-flavored (see module docs) |
+//! | [`dl09`] | propose-test-release IQR | none (universal!) | **(ε, δ)-DP only** |
+//!
+//! The experiments in `updp-experiments` run each of these against the
+//! universal estimators on workloads that satisfy — and that violate —
+//! the assumptions each baseline needs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bs19;
+pub mod coinpress;
+pub mod dl09;
+pub mod ksu20;
+pub mod kv18;
+pub mod naive_clip;
+pub mod nonprivate;
+
+pub use bs19::bs19_trimmed_mean;
+pub use coinpress::{coinpress_mean, coinpress_variance, DEFAULT_STEPS};
+pub use dl09::{dl09_iqr, Dl09Iqr};
+pub use ksu20::ksu20_mean;
+pub use kv18::{kv18_gaussian_mean, kv18_gaussian_variance, kv18_mean_given_sigma, kv18_sigma};
+pub use naive_clip::naive_clipped_mean;
+pub use nonprivate::{sample_iqr, sample_mean, sample_midrange, sample_variance};

@@ -1,0 +1,95 @@
+//! The folklore A1 baseline: clip to the assumed range, add Laplace.
+//!
+//! `M(D) = ClippedMean(D, [−R, R]) + Lap(2R/(εn))` is ε-DP and is what a
+//! practitioner with a range assumption would reach for first. Its error
+//! has an *irreducible* `R/(εn)` noise floor — the dependence on the
+//! a-priori bound instead of the data's own scale that the paper's
+//! instance-optimal estimators eliminate — and an unbounded bias whenever
+//! `μ ∉ [−R, R]`, which the `table1` experiment demonstrates.
+
+use rand::Rng;
+use updp_core::clipped_mean::clipped_mean;
+use updp_core::error::{ensure_finite, Result, UpdpError};
+use updp_core::laplace::sample_laplace;
+use updp_core::privacy::Epsilon;
+
+/// ε-DP clipped-Laplace mean under assumption A1 (`μ ∈ [−r, r]`).
+pub fn naive_clipped_mean<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    r: f64,
+    epsilon: Epsilon,
+) -> Result<f64> {
+    ensure_finite(data, "naive_clipped_mean input")?;
+    if !(r.is_finite() && r > 0.0) {
+        return Err(UpdpError::InvalidParameter {
+            name: "r",
+            reason: format!("assumed range bound must be positive, got {r}"),
+        });
+    }
+    let mean = clipped_mean(data, -r, r)?;
+    Ok(mean + sample_laplace(rng, 2.0 * r / (epsilon.get() * data.len() as f64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updp_core::rng::seeded;
+    use updp_dist::{ContinuousDistribution, Gaussian};
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn accurate_when_assumption_holds() {
+        let g = Gaussian::new(3.0, 1.0).unwrap();
+        let mut rng = seeded(1);
+        let data = g.sample_vec(&mut rng, 50_000);
+        let est = naive_clipped_mean(&mut rng, &data, 100.0, eps(1.0)).unwrap();
+        assert!((est - 3.0).abs() < 0.2, "est {est}");
+    }
+
+    #[test]
+    fn biased_when_mean_outside_range() {
+        // μ = 1000 but R = 10: the estimate is pinned near 10.
+        let g = Gaussian::new(1000.0, 1.0).unwrap();
+        let mut rng = seeded(2);
+        let data = g.sample_vec(&mut rng, 10_000);
+        let est = naive_clipped_mean(&mut rng, &data, 10.0, eps(1.0)).unwrap();
+        assert!(
+            (est - 10.0).abs() < 1.0,
+            "A1 violation should pin at R: {est}"
+        );
+    }
+
+    #[test]
+    fn noise_floor_scales_with_r() {
+        // Same data, two Rs: larger R ⇒ visibly larger error spread.
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let spread = |r: f64, master: u64| -> f64 {
+            let mut errs = Vec::new();
+            for s in 0..60 {
+                let mut rng = seeded(master + s);
+                let data = g.sample_vec(&mut rng, 200);
+                let est = naive_clipped_mean(&mut rng, &data, r, eps(0.1)).unwrap();
+                errs.push(est.abs());
+            }
+            errs.sort_by(f64::total_cmp);
+            errs[30]
+        };
+        let tight = spread(5.0, 100);
+        let loose = spread(5_000.0, 200);
+        assert!(
+            loose > 10.0 * tight,
+            "R dependence not visible: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_r() {
+        let mut rng = seeded(3);
+        assert!(naive_clipped_mean(&mut rng, &[1.0], 0.0, eps(1.0)).is_err());
+        assert!(naive_clipped_mean(&mut rng, &[1.0], f64::NAN, eps(1.0)).is_err());
+    }
+}

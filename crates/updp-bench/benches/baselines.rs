@@ -1,0 +1,51 @@
+//! Benchmarks for the baseline estimators, so runtime comparisons in
+//! EXPERIMENTS.md cover every column of every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use updp_baselines::{
+    bs19_trimmed_mean, coinpress_mean, dl09_iqr, ksu20_mean, kv18_gaussian_mean, naive_clipped_mean,
+};
+use updp_bench::{bench_rng, gaussian_data};
+use updp_core::privacy::{Delta, Epsilon};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn bench_all_baselines(c: &mut Criterion) {
+    let data = gaussian_data(10_000);
+    let mut group = c.benchmark_group("baselines_10k");
+
+    group.bench_function("naive_clip", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| naive_clipped_mean(&mut rng, black_box(&data), 1e4, eps(1.0)).unwrap())
+    });
+    group.bench_function("kv18_mean", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| {
+            kv18_gaussian_mean(&mut rng, black_box(&data), 1e4, 0.1, 100.0, eps(1.0)).unwrap()
+        })
+    });
+    group.bench_function("coinpress_mean", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| coinpress_mean(&mut rng, black_box(&data), 1e4, 5.0, eps(1.0), 4).unwrap())
+    });
+    group.bench_function("ksu20_mean", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| ksu20_mean(&mut rng, black_box(&data), 1e4, 2, 25.0, eps(1.0)).unwrap())
+    });
+    group.bench_function("bs19_trimmed_mean", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| bs19_trimmed_mean(&mut rng, black_box(&data), 1e4, 0.05, eps(1.0)).unwrap())
+    });
+    group.bench_function("dl09_iqr", |b| {
+        let mut rng = bench_rng();
+        let delta = Delta::new(1e-6).unwrap();
+        b.iter(|| dl09_iqr(&mut rng, black_box(&data), eps(1.0), delta))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_baselines);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks for the Section 3 empirical estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use updp_bench::{bench_rng, int_data};
+use updp_core::privacy::Epsilon;
+use updp_empirical::{
+    infinite_domain_mean, infinite_domain_quantile, infinite_domain_radius, infinite_domain_range,
+    SortedInts,
+};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn dataset(n: usize) -> SortedInts {
+    SortedInts::new(int_data(n, 1 << 24)).unwrap()
+}
+
+fn bench_radius(c: &mut Criterion) {
+    let d = dataset(10_000);
+    c.bench_function("infinite_domain_radius_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| infinite_domain_radius(&mut rng, black_box(&d), eps(1.0), 0.1))
+    });
+}
+
+fn bench_range(c: &mut Criterion) {
+    let d = dataset(10_000);
+    c.bench_function("infinite_domain_range_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| infinite_domain_range(&mut rng, black_box(&d), eps(1.0), 0.1).unwrap())
+    });
+}
+
+fn bench_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infinite_domain_mean");
+    for n in [1_000usize, 10_000, 100_000] {
+        let d = dataset(n);
+        group.bench_function(format!("n={n}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| infinite_domain_mean(&mut rng, black_box(&d), eps(1.0), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let d = dataset(10_000);
+    c.bench_function("infinite_domain_quantile_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| infinite_domain_quantile(&mut rng, black_box(&d), 5_000, eps(1.0), 0.1).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_radius,
+    bench_range,
+    bench_mean,
+    bench_quantile
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks for the DP primitives in `updp-core`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use updp_bench::{bench_rng, int_data};
+use updp_core::clipped_mean::private_clipped_mean;
+use updp_core::exponential::exponential_mechanism;
+use updp_core::inverse_sensitivity::finite_domain_quantile;
+use updp_core::laplace::sample_laplace;
+use updp_core::privacy::Epsilon;
+use updp_core::svt::sparse_vector;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    c.bench_function("laplace_sample", |b| {
+        b.iter(|| black_box(sample_laplace(&mut rng, black_box(1.0))))
+    });
+}
+
+fn bench_svt(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    c.bench_function("svt_100_queries", |b| {
+        b.iter(|| {
+            sparse_vector(
+                &mut rng,
+                black_box(95.0),
+                eps(1.0),
+                |i| if i < 99 { i as f64 } else { 1_000.0 },
+                200,
+            )
+        })
+    });
+}
+
+fn bench_exponential(c: &mut Criterion) {
+    let utilities: Vec<f64> = (0..1000).map(|i| -((i % 37) as f64)).collect();
+    let mut rng = bench_rng();
+    c.bench_function("exponential_mechanism_1k_candidates", |b| {
+        b.iter(|| exponential_mechanism(&mut rng, black_box(&utilities), 1.0, eps(1.0)).unwrap())
+    });
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("finite_domain_quantile");
+    for n in [1_000usize, 10_000, 100_000] {
+        let sorted = int_data(n, 1 << 30);
+        group.bench_function(format!("n={n}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| {
+                finite_domain_quantile(
+                    &mut rng,
+                    black_box(&sorted),
+                    n / 2,
+                    -(1 << 31),
+                    1 << 31,
+                    eps(1.0),
+                    0.1,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clipped_mean(c: &mut Criterion) {
+    let data: Vec<f64> = (0..100_000).map(|i| (i % 1000) as f64).collect();
+    c.bench_function("private_clipped_mean_100k", |b| {
+        let mut rng = bench_rng();
+        b.iter_batched(
+            || data.clone(),
+            |d| private_clipped_mean(&mut rng, &d, 0.0, 999.0, eps(1.0)).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_laplace,
+    bench_svt,
+    bench_exponential,
+    bench_quantile,
+    bench_clipped_mean
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The `O(n log n)` scaling claim (paper §1: "all our estimators can be
+//! implemented efficiently in O(n log n) time").
+//!
+//! Criterion's throughput report makes the claim visible: elements/second
+//! should stay nearly flat (up to the log factor) as n grows 64x.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use updp_bench::{bench_rng, gaussian_data};
+use updp_core::privacy::Epsilon;
+use updp_statistical::{estimate_iqr, estimate_mean, estimate_variance};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn bench_mean_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/estimate_mean");
+    for n in [4_000usize, 16_000, 64_000, 256_000] {
+        let data = gaussian_data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("n={n}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| estimate_mean(&mut rng, black_box(&data), eps(0.5), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/estimate_variance");
+    for n in [4_000usize, 64_000, 256_000] {
+        let data = gaussian_data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("n={n}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| estimate_variance(&mut rng, black_box(&data), eps(0.5), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_iqr_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/estimate_iqr");
+    for n in [4_000usize, 64_000, 256_000] {
+        let data = gaussian_data(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("n={n}"), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| estimate_iqr(&mut rng, black_box(&data), eps(1.0), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mean_scaling,
+    bench_variance_scaling,
+    bench_iqr_scaling
+);
+criterion_main!(benches);

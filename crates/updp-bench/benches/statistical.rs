@@ -1,0 +1,58 @@
+//! Benchmarks for the Sections 4–6 universal estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use updp_bench::{bench_rng, gaussian_data, pareto_data};
+use updp_core::privacy::Epsilon;
+use updp_statistical::{estimate_iqr, estimate_iqr_lower_bound, estimate_mean, estimate_variance};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn bench_iqr_lower_bound(c: &mut Criterion) {
+    let data = gaussian_data(10_000);
+    c.bench_function("estimate_iqr_lower_bound_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| estimate_iqr_lower_bound(&mut rng, black_box(&data), eps(1.0), 0.1).unwrap())
+    });
+}
+
+fn bench_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_mean");
+    for (label, data) in [
+        ("gaussian_10k", gaussian_data(10_000)),
+        ("pareto_10k", pareto_data(10_000)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut rng = bench_rng();
+            b.iter(|| estimate_mean(&mut rng, black_box(&data), eps(0.5), 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance(c: &mut Criterion) {
+    let data = gaussian_data(10_000);
+    c.bench_function("estimate_variance_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| estimate_variance(&mut rng, black_box(&data), eps(0.5), 0.1).unwrap())
+    });
+}
+
+fn bench_iqr(c: &mut Criterion) {
+    let data = gaussian_data(10_000);
+    c.bench_function("estimate_iqr_10k", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| estimate_iqr(&mut rng, black_box(&data), eps(1.0), 0.1).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_iqr_lower_bound,
+    bench_mean,
+    bench_variance,
+    bench_iqr
+);
+criterion_main!(benches);

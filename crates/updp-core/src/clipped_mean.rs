@@ -1,0 +1,191 @@
+//! The clipped mean estimator (Section 2.6).
+//!
+//! `ClippedMean(D, [l, r]) = μ(Clip(D, [l, r]))` has global sensitivity
+//! `(r − l)/n`, so adding `Lap((r−l)/(εn))` gives an ε-DP release. All the
+//! paper's mean estimators reduce to this once a privatized range has been
+//! found; the art is entirely in choosing `[l, r]`.
+
+use crate::error::{ensure_finite, ensure_nonempty, Result, UpdpError};
+use crate::laplace::sample_laplace;
+use crate::privacy::Epsilon;
+use rand::Rng;
+
+/// Clips a single value into `[lo, hi]`.
+#[inline]
+pub fn clip(x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    x.clamp(lo, hi)
+}
+
+/// Clips a single integer value into `[lo, hi]`.
+#[inline]
+pub fn clip_i64(x: i64, lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo <= hi);
+    x.clamp(lo, hi)
+}
+
+/// The (non-private) clipped mean `μ(Clip(D, [lo, hi]))`.
+///
+/// Uses a numerically stable streaming mean; clipping bounds every term by
+/// `max(|lo|, |hi|)` so no intermediate overflow is possible.
+pub fn clipped_mean(data: &[f64], lo: f64, hi: f64) -> Result<f64> {
+    ensure_nonempty(data)?;
+    validate_interval(lo, hi)?;
+    let mut mean = 0.0f64;
+    for (i, &x) in data.iter().enumerate() {
+        let c = clip(x, lo, hi);
+        mean += (c - mean) / (i + 1) as f64;
+    }
+    Ok(mean)
+}
+
+/// Integer-domain clipped mean, returned as `f64`.
+pub fn clipped_mean_i64(data: &[i64], lo: i64, hi: i64) -> Result<f64> {
+    ensure_nonempty(data)?;
+    if lo > hi {
+        return Err(UpdpError::InvalidParameter {
+            name: "interval",
+            reason: format!("lo ({lo}) must not exceed hi ({hi})"),
+        });
+    }
+    // i128 accumulation cannot overflow: n ≤ 2^63 terms of magnitude ≤ 2^63.
+    let sum: i128 = data.iter().map(|&x| clip_i64(x, lo, hi) as i128).sum();
+    Ok(sum as f64 / data.len() as f64)
+}
+
+/// ε-DP release of the clipped mean:
+/// `ClippedMean(D, [lo, hi]) + Lap((hi − lo)/(εn))`.
+///
+/// This is the exact mechanism invoked by Algorithms 5, 8, and 9 (each
+/// with its own noise multiplier folded into `epsilon`).
+pub fn private_clipped_mean<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    lo: f64,
+    hi: f64,
+    epsilon: Epsilon,
+) -> Result<f64> {
+    ensure_finite(data, "private_clipped_mean input")?;
+    let mean = clipped_mean(data, lo, hi)?;
+    let width = hi - lo;
+    if width == 0.0 {
+        // Degenerate interval: the clipped mean is data-independent
+        // (always `lo`), so releasing it exactly is 0-DP.
+        return Ok(mean);
+    }
+    let scale = width / (epsilon.get() * data.len() as f64);
+    Ok(mean + sample_laplace(rng, scale))
+}
+
+/// The number of elements of `data` strictly outside `[lo, hi]` — the
+/// clipping bias diagnostic reported by the statistical estimators.
+pub fn count_outside(data: &[f64], lo: f64, hi: f64) -> usize {
+    data.iter().filter(|&&x| x < lo || x > hi).count()
+}
+
+fn validate_interval(lo: f64, hi: f64) -> Result<()> {
+    if !(lo.is_finite() && hi.is_finite()) {
+        return Err(UpdpError::NonFiniteInput {
+            context: "clipping interval",
+        });
+    }
+    if lo > hi {
+        return Err(UpdpError::InvalidParameter {
+            name: "interval",
+            reason: format!("lo ({lo}) must not exceed hi ({hi})"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn clip_basics() {
+        assert_eq!(clip(5.0, 0.0, 10.0), 5.0);
+        assert_eq!(clip(-5.0, 0.0, 10.0), 0.0);
+        assert_eq!(clip(15.0, 0.0, 10.0), 10.0);
+        assert_eq!(clip_i64(7, -3, 3), 3);
+        assert_eq!(clip_i64(-7, -3, 3), -3);
+    }
+
+    #[test]
+    fn clipped_mean_no_clipping_equals_mean() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let m = clipped_mean(&data, -100.0, 100.0).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipped_mean_clips_outliers() {
+        let data = [0.0, 0.0, 1e9];
+        let m = clipped_mean(&data, 0.0, 1.0).unwrap();
+        assert!((m - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipped_mean_i64_matches_f64_version() {
+        let data_i = [-10i64, 0, 5, 100];
+        let data_f = [-10.0, 0.0, 5.0, 100.0];
+        let mi = clipped_mean_i64(&data_i, -3, 50).unwrap();
+        let mf = clipped_mean(&data_f, -3.0, 50.0).unwrap();
+        assert!((mi - mf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipped_mean_i64_handles_extreme_values() {
+        let data = [i64::MIN, i64::MAX, 0];
+        let m = clipped_mean_i64(&data, i64::MIN, i64::MAX).unwrap();
+        // MIN + MAX = −1, so mean = −1/3.
+        assert!((m - (-1.0 / 3.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn private_mean_concentrates_with_large_n() {
+        let mut rng = seeded(1);
+        let n = 10_000;
+        let data: Vec<f64> = (0..n).map(|i| (i % 100) as f64).collect();
+        let truth = clipped_mean(&data, 0.0, 99.0).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let est = private_clipped_mean(&mut rng, &data, 0.0, 99.0, eps).unwrap();
+        // noise scale = 99/(1·10000) ≈ 0.01
+        assert!((est - truth).abs() < 0.2, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn private_mean_degenerate_interval() {
+        let mut rng = seeded(2);
+        let data = [1.0, 2.0, 3.0];
+        let eps = Epsilon::new(1.0).unwrap();
+        let est = private_clipped_mean(&mut rng, &data, 5.0, 5.0, eps).unwrap();
+        assert_eq!(est, 5.0);
+    }
+
+    #[test]
+    fn rejects_invalid_intervals_and_nan() {
+        let mut rng = seeded(3);
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(clipped_mean(&[1.0], 2.0, 1.0).is_err());
+        assert!(clipped_mean(&[1.0], f64::NAN, 1.0).is_err());
+        assert!(private_clipped_mean(&mut rng, &[f64::NAN], 0.0, 1.0, eps).is_err());
+        assert!(clipped_mean_i64(&[1], 2, 1).is_err());
+        assert!(clipped_mean(&[], 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn count_outside_counts() {
+        let data = [-5.0, 0.0, 5.0, 10.0, 15.0];
+        assert_eq!(count_outside(&data, 0.0, 10.0), 2);
+        assert_eq!(count_outside(&data, -10.0, 20.0), 0);
+    }
+
+    #[test]
+    fn streaming_mean_is_stable_for_large_values() {
+        let data = vec![1e15; 1000];
+        let m = clipped_mean(&data, 0.0, 2e15).unwrap();
+        assert!((m - 1e15).abs() / 1e15 < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! The exponential mechanism, in plain and weighted-segment forms.
+//!
+//! Given candidates `y ∈ Y` with utility scores `u(D, y)` of sensitivity
+//! `Δu`, the exponential mechanism samples `y` with probability
+//! `∝ exp(ε·u(D,y) / (2Δu))` and satisfies ε-DP. The inverse sensitivity
+//! mechanism (Section 2.5) instantiates it with `u = −len(Q, D, y)`.
+//!
+//! Sampling is done with the Gumbel-max trick in log space, which is exact
+//! (same distribution as normalized weights) and immune to `exp` overflow
+//! or underflow even when scores span thousands of nats — which happens
+//! routinely for quantile domains of width `2^40`.
+
+use crate::error::{ensure_nonempty, Result, UpdpError};
+use crate::privacy::Epsilon;
+use rand::Rng;
+
+/// Draws one standard Gumbel variate: `−ln(−ln U)` for `U ~ Uniform(0,1)`.
+#[inline]
+pub fn sample_gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            let e = -u.ln();
+            if e > 0.0 {
+                return -e.ln();
+            }
+        }
+    }
+}
+
+/// The exponential mechanism over an explicit candidate list.
+///
+/// Samples index `i` with probability `∝ exp(ε·utilities[i] / (2·Δu))`.
+/// Returns the chosen index. Errors on empty input, non-positive
+/// sensitivity, or non-finite utilities (use `f64::NEG_INFINITY`-free
+/// scores; impossible candidates should simply be omitted).
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    utilities: &[f64],
+    sensitivity: f64,
+    epsilon: Epsilon,
+) -> Result<usize> {
+    ensure_nonempty(utilities)?;
+    if !(sensitivity.is_finite() && sensitivity > 0.0) {
+        return Err(UpdpError::InvalidParameter {
+            name: "sensitivity",
+            reason: format!("must be finite and positive, got {sensitivity}"),
+        });
+    }
+    if utilities.iter().any(|u| !u.is_finite()) {
+        return Err(UpdpError::NonFiniteInput {
+            context: "exponential mechanism utilities",
+        });
+    }
+    let factor = epsilon.get() / (2.0 * sensitivity);
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, &u) in utilities.iter().enumerate() {
+        let score = factor * u + sample_gumbel(rng);
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// A segment of candidates sharing one log-weight.
+///
+/// The inverse sensitivity mechanism over an interval domain partitions
+/// the domain into `O(n)` maximal runs of equal score; each run is a
+/// `WeightedSegment` with `count` = number of candidates in the run and
+/// `log_weight` = per-candidate log weight (`−ε·len/2` for INV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSegment {
+    /// Number of equally-weighted candidates in this segment (> 0).
+    pub count: u64,
+    /// Natural-log weight of *each* candidate in the segment.
+    pub log_weight: f64,
+}
+
+/// Samples a segment index from `segments` where segment `j` has total
+/// weight `count_j · exp(log_weight_j)`.
+///
+/// Exact sampling via Gumbel-max over `ln(count) + log_weight`. Segments
+/// with `count == 0` are skipped. Errors if every segment is empty.
+pub fn sample_weighted_segment<R: Rng + ?Sized>(
+    rng: &mut R,
+    segments: &[WeightedSegment],
+) -> Result<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_score = f64::NEG_INFINITY;
+    for (j, seg) in segments.iter().enumerate() {
+        if seg.count == 0 {
+            continue;
+        }
+        debug_assert!(seg.log_weight.is_finite() || seg.log_weight == f64::NEG_INFINITY);
+        if seg.log_weight == f64::NEG_INFINITY {
+            continue;
+        }
+        let score = (seg.count as f64).ln() + seg.log_weight + sample_gumbel(rng);
+        if score > best_score {
+            best_score = score;
+            best = Some(j);
+        }
+    }
+    best.ok_or(UpdpError::EmptyDataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn prefers_high_utility() {
+        let mut rng = seeded(1);
+        let utilities = [0.0, 0.0, 40.0, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..500 {
+            let i = exponential_mechanism(&mut rng, &utilities, 1.0, eps(1.0)).unwrap();
+            counts[i] += 1;
+        }
+        assert!(counts[2] > 480, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn frequencies_match_exponential_weights() {
+        let mut rng = seeded(2);
+        // Two candidates with utility gap g: ratio should be e^{εg/2}.
+        let utilities = [0.0, 2.0];
+        let e = eps(1.0);
+        let trials = 200_000;
+        let mut hit1 = 0;
+        for _ in 0..trials {
+            if exponential_mechanism(&mut rng, &utilities, 1.0, e).unwrap() == 1 {
+                hit1 += 1;
+            }
+        }
+        let p1 = hit1 as f64 / trials as f64;
+        let expected = (1.0f64).exp() / (1.0 + (1.0f64).exp()); // e^{ε·2/2} vs e^0
+        assert!(
+            (p1 - expected).abs() < 0.01,
+            "p1 = {p1}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn survives_huge_score_ranges() {
+        let mut rng = seeded(3);
+        // Scores spanning thousands of nats would overflow a naive exp.
+        let utilities: Vec<f64> = (0..100).map(|i| -(i as f64) * 100.0).collect();
+        let i = exponential_mechanism(&mut rng, &utilities, 1.0, eps(1.0)).unwrap();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = seeded(4);
+        assert!(exponential_mechanism(&mut rng, &[], 1.0, eps(1.0)).is_err());
+        assert!(exponential_mechanism(&mut rng, &[0.0], 0.0, eps(1.0)).is_err());
+        assert!(exponential_mechanism(&mut rng, &[f64::NAN], 1.0, eps(1.0)).is_err());
+    }
+
+    #[test]
+    fn segment_sampling_respects_count_and_weight() {
+        let mut rng = seeded(5);
+        // Segment 0: 1000 candidates at weight e^0; segment 1: 1 candidate
+        // at weight e^0. Segment 0 should win ~1000/1001 of the time.
+        let segments = [
+            WeightedSegment {
+                count: 1000,
+                log_weight: 0.0,
+            },
+            WeightedSegment {
+                count: 1,
+                log_weight: 0.0,
+            },
+        ];
+        let trials = 50_000;
+        let mut seg0 = 0;
+        for _ in 0..trials {
+            if sample_weighted_segment(&mut rng, &segments).unwrap() == 0 {
+                seg0 += 1;
+            }
+        }
+        let p = seg0 as f64 / trials as f64;
+        assert!(p > 0.995, "p = {p}");
+    }
+
+    #[test]
+    fn segment_sampling_balances_count_against_weight() {
+        let mut rng = seeded(6);
+        // count 100 at log-weight −ln(100) ≡ total weight 1, vs count 1 at
+        // log-weight 0 ≡ total weight 1: should be ~50/50.
+        let segments = [
+            WeightedSegment {
+                count: 100,
+                log_weight: -(100.0f64).ln(),
+            },
+            WeightedSegment {
+                count: 1,
+                log_weight: 0.0,
+            },
+        ];
+        let trials = 100_000;
+        let mut seg0 = 0;
+        for _ in 0..trials {
+            if sample_weighted_segment(&mut rng, &segments).unwrap() == 0 {
+                seg0 += 1;
+            }
+        }
+        let p = seg0 as f64 / trials as f64;
+        assert!((p - 0.5).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn segment_sampling_skips_empty_segments() {
+        let mut rng = seeded(7);
+        let segments = [
+            WeightedSegment {
+                count: 0,
+                log_weight: 100.0,
+            },
+            WeightedSegment {
+                count: 1,
+                log_weight: -50.0,
+            },
+        ];
+        assert_eq!(sample_weighted_segment(&mut rng, &segments).unwrap(), 1);
+    }
+
+    #[test]
+    fn segment_sampling_errors_on_all_empty() {
+        let mut rng = seeded(8);
+        let segments = [WeightedSegment {
+            count: 0,
+            log_weight: 0.0,
+        }];
+        assert!(sample_weighted_segment(&mut rng, &segments).is_err());
+    }
+}

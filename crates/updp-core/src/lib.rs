@@ -1,0 +1,45 @@
+//! # updp-core — differential-privacy primitives
+//!
+//! The substrate layer of the *Universal Private Estimators* reproduction
+//! (Dong & Yi, PODS 2023). This crate implements every DP building block
+//! used by the paper:
+//!
+//! * [`privacy`] — validated ε/δ types, basic composition (Lemma 2.2),
+//!   budget accounting;
+//! * [`laplace`] — the Laplace mechanism (Lemma 2.3) and tail bounds;
+//! * [`svt`] — the Sparse Vector Technique (Algorithm 1; Lemmas 2.5–2.6)
+//!   over lazily-evaluated, possibly infinite query streams;
+//! * [`exponential`] — the exponential mechanism with log-space
+//!   Gumbel-max sampling and weighted-segment support;
+//! * [`inverse_sensitivity`] — the inverse sensitivity mechanism and
+//!   `FiniteDomainQuantile` (Algorithm 2; Lemmas 2.7–2.8);
+//! * [`clipped_mean`] — the clipped mean estimator (Section 2.6);
+//! * [`amplification`] — privacy amplification by subsampling
+//!   (Theorem 2.4);
+//! * [`geometric`] — the discrete-Laplace mechanism (extension);
+//! * [`snapping`] — Mironov's floating-point-safe snapped Laplace
+//!   release (hardening extension);
+//! * [`rng`] — deterministic seeding utilities for reproducible
+//!   experiments.
+//!
+//! Everything downstream (`updp-empirical`, `updp-statistical`,
+//! `updp-baselines`) is built from these pieces; no other crate touches
+//! raw noise.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod amplification;
+pub mod clipped_mean;
+pub mod error;
+pub mod exponential;
+pub mod geometric;
+pub mod inverse_sensitivity;
+pub mod laplace;
+pub mod privacy;
+pub mod rng;
+pub mod snapping;
+pub mod svt;
+
+pub use error::{Result, UpdpError};
+pub use privacy::{BudgetAccountant, Delta, Epsilon, PrivacyGuarantee};

@@ -1,0 +1,76 @@
+//! Randomness plumbing.
+//!
+//! Every mechanism takes `&mut impl Rng` so that experiments and tests can
+//! supply deterministic, per-trial seeded generators while applications
+//! use OS entropy. Helper functions here derive independent child seeds
+//! from a master seed (SplitMix64), which keeps many-trial experiments
+//! reproducible without correlated streams.
+//!
+//! Security note: `StdRng` (ChaCha-based) is a CSPRNG, which is what a DP
+//! deployment should use; the floating-point Laplace sampler in
+//! [`crate::laplace`] is the textbook inverse-CDF construction used by the
+//! paper's analysis, not a hardened implementation against the
+//! Mironov floating-point attack. This matches the reproduction's goal of
+//! studying *utility*, and is documented in DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Creates an RNG from OS entropy.
+pub fn from_entropy() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// SplitMix64 step: derives a well-mixed child seed from `state`.
+///
+/// Used to fan a master experiment seed out into independent per-trial
+/// seeds: `child_seed(master, trial_index)`.
+#[inline]
+pub fn child_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn child_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(child_seed(7, i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn child_seed_depends_on_master() {
+        assert_ne!(child_seed(1, 0), child_seed(2, 0));
+    }
+}

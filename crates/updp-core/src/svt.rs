@@ -1,0 +1,229 @@
+//! The Sparse Vector Technique (Algorithm 1; Lemmas 2.5 and 2.6).
+//!
+//! SVT consumes a (possibly infinite) sequence of sensitivity-1 queries
+//! `Q₁(D), Q₂(D), …` and a threshold `T`, and privately returns the index
+//! of the first query whose (noisy) answer exceeds the (noisy) threshold:
+//!
+//! ```text
+//! T̃ ← T + Lap(2/ε)
+//! for i = 1, 2, …:
+//!     Q̃ᵢ ← Qᵢ(D) + Lap(4/ε)
+//!     if Q̃ᵢ > T̃: return i
+//! ```
+//!
+//! The whole loop satisfies ε-DP regardless of how many queries are
+//! examined. Lemma 2.5 guarantees SVT does not stop while queries are well
+//! below `T`; Lemma 2.6 (proved in the paper) guarantees it *does* stop by
+//! the time a query is well above `T`, and that the returned query is
+//! itself close to `T` — the property the radius estimator relies on.
+//!
+//! # Termination
+//!
+//! The paper feeds SVT genuinely infinite streams (`Count(D, 2^j)` for all
+//! j). For the counting queries used in this repository the stream becomes
+//! constant once the doubling radius covers the data, after which SVT halts
+//! with probability ≥ some constant per step, so it terminates almost
+//! surely. To make termination unconditional we impose a *fixed,
+//! data-independent* iteration cap (default [`DEFAULT_SVT_CAP`], chosen to
+//! cover the entire dynamic range of `f64` exponents with huge margin).
+//! Because the cap is a constant, truncating the output at it is
+//! post-processing of an ε-DP mechanism and preserves ε-DP exactly.
+
+use crate::laplace::sample_laplace;
+use crate::privacy::Epsilon;
+use rand::Rng;
+
+/// Default iteration cap for SVT runs over infinite streams.
+///
+/// Radius searches double a power of two each step, so covering
+/// `2^±1100` — far beyond `f64`'s `2^±1074` subnormal range — means the
+/// underlying counting query is guaranteed to have saturated long before
+/// the cap binds. 4096 leaves two orders of magnitude of slack for the
+/// noisy threshold to be crossed after saturation.
+pub const DEFAULT_SVT_CAP: usize = 4096;
+
+/// Result of one SVT run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvtOutcome {
+    /// 1-based index of the first query reported above threshold,
+    /// matching the paper's indexing.
+    pub index: usize,
+    /// True if the iteration cap was reached without any query reported
+    /// above threshold (`index` then equals the cap). With the counting
+    /// streams used here this is an astronomically unlikely noise event.
+    pub capped: bool,
+}
+
+/// Runs SVT over a lazily-evaluated query stream.
+///
+/// `queries` is called with the 0-based query position and must return
+/// `Qᵢ₊₁(D)`; each query must have global sensitivity 1. The stream is
+/// conceptually infinite; evaluation stops at the reported index or the
+/// `cap`. Satisfies ε-DP.
+pub fn sparse_vector<R, F>(
+    rng: &mut R,
+    threshold: f64,
+    epsilon: Epsilon,
+    mut queries: F,
+    cap: usize,
+) -> SvtOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize) -> f64,
+{
+    assert!(cap >= 1, "SVT cap must be at least 1");
+    let eps = epsilon.get();
+    let noisy_threshold = threshold + sample_laplace(rng, 2.0 / eps);
+    for i in 0..cap {
+        let noisy_query = queries(i) + sample_laplace(rng, 4.0 / eps);
+        if noisy_query > noisy_threshold {
+            return SvtOutcome {
+                index: i + 1,
+                capped: false,
+            };
+        }
+    }
+    SvtOutcome {
+        index: cap,
+        capped: true,
+    }
+}
+
+/// Convenience wrapper: runs SVT over a finite slice of query answers.
+///
+/// Returns `None` if no query in the slice was reported above threshold.
+/// Useful in tests and for finite query workloads.
+pub fn sparse_vector_slice<R: Rng + ?Sized>(
+    rng: &mut R,
+    threshold: f64,
+    epsilon: Epsilon,
+    answers: &[f64],
+) -> Option<usize> {
+    if answers.is_empty() {
+        return None;
+    }
+    let outcome = sparse_vector(rng, threshold, epsilon, |i| answers[i], answers.len());
+    if outcome.capped {
+        None
+    } else {
+        Some(outcome.index)
+    }
+}
+
+/// The threshold margin from Lemma 2.5: if the first `k₁` queries satisfy
+/// `Qᵢ(D) ≤ T − (8/ε)·log(2k₁/β)`, SVT passes them all w.p. ≥ 1 − β.
+pub fn lemma25_margin(epsilon: Epsilon, k1: usize, beta: f64) -> f64 {
+    8.0 / epsilon.get() * (2.0 * k1 as f64 / beta).ln().max(1.0)
+}
+
+/// The stopping margin from Lemma 2.6: if some `Q_{k₂}(D) ≥ T +
+/// (6/ε)·log(2/β)`, SVT stops by `k₂` w.p. ≥ 1 − β, and the returned query
+/// satisfies `Qᵢ(D) ≥ T − (6/ε)·log(2k₂/β)`.
+pub fn lemma26_margin(epsilon: Epsilon, beta: f64) -> f64 {
+    6.0 / epsilon.get() * (2.0 / beta).ln().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn stops_at_obvious_jump() {
+        // Queries far below threshold, then far above: SVT should stop at
+        // the jump almost every time.
+        let mut hits = 0;
+        for seed in 0..200 {
+            let mut rng = seeded(seed);
+            let answers = [0.0, 0.0, 0.0, 0.0, 1000.0, 1000.0];
+            let idx = sparse_vector_slice(&mut rng, 500.0, eps(1.0), &answers).unwrap();
+            if idx == 5 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 195, "stopped at the jump only {hits}/200 times");
+    }
+
+    #[test]
+    fn rarely_stops_early_below_threshold() {
+        // Lemma 2.5: queries at T − margin should essentially never fire.
+        let e = eps(1.0);
+        let k1 = 50;
+        let beta = 0.05;
+        let margin = lemma25_margin(e, k1, beta);
+        let mut early = 0;
+        let trials = 400;
+        for seed in 0..trials {
+            let mut rng = seeded(1000 + seed);
+            let answers = vec![100.0 - margin; k1];
+            if sparse_vector_slice(&mut rng, 100.0, e, &answers).is_some() {
+                early += 1;
+            }
+        }
+        let rate = early as f64 / trials as f64;
+        assert!(rate <= beta + 0.05, "early-stop rate {rate} > β + slack");
+    }
+
+    #[test]
+    fn stops_by_k2_when_far_above() {
+        // Lemma 2.6: a query at T + margin forces a stop by that index.
+        let e = eps(0.5);
+        let beta = 0.05;
+        let margin = lemma26_margin(e, beta);
+        let mut late = 0;
+        let trials = 400;
+        for seed in 0..trials {
+            let mut rng = seeded(5000 + seed);
+            let mut answers = vec![-1e9; 10];
+            answers.push(50.0 + margin); // k2 = 11
+            answers.extend(vec![50.0 + margin; 5]);
+            let idx = sparse_vector_slice(&mut rng, 50.0, e, &answers).unwrap();
+            if idx > 11 {
+                late += 1;
+            }
+        }
+        let rate = late as f64 / trials as f64;
+        assert!(rate <= beta + 0.05, "late-stop rate {rate}");
+    }
+
+    #[test]
+    fn infinite_stream_is_lazy() {
+        // The closure would panic past index 10; SVT must stop before
+        // evaluating those because query 10 is enormous.
+        let mut rng = seeded(9);
+        let outcome = sparse_vector(
+            &mut rng,
+            0.0,
+            eps(1.0),
+            |i| {
+                assert!(i <= 10, "evaluated query {i} past the guaranteed stop");
+                if i == 10 {
+                    1e12
+                } else {
+                    -1e12
+                }
+            },
+            DEFAULT_SVT_CAP,
+        );
+        assert_eq!(outcome.index, 11);
+        assert!(!outcome.capped);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut rng = seeded(10);
+        let outcome = sparse_vector(&mut rng, 0.0, eps(1.0), |_| -1e12, 17);
+        assert!(outcome.capped);
+        assert_eq!(outcome.index, 17);
+    }
+
+    #[test]
+    fn empty_slice_returns_none() {
+        let mut rng = seeded(11);
+        assert_eq!(sparse_vector_slice(&mut rng, 0.0, eps(1.0), &[]), None);
+    }
+}

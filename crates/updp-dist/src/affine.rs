@@ -1,0 +1,152 @@
+//! Affine transformation of a distribution: `X = scale·Y + shift`.
+//!
+//! Used by the experiments to place means far from the origin (breaking
+//! the A1 baselines, whose `[−R, R]` assumption then fails) and to sweep
+//! σ across decades without reimplementing each family.
+
+use crate::error::{DistError, Result};
+use crate::traits::ContinuousDistribution;
+use rand::RngCore;
+
+/// `scale·Y + shift` for an inner distribution `Y`, with `scale > 0`.
+#[derive(Debug, Clone)]
+pub struct Affine<D> {
+    inner: D,
+    shift: f64,
+    scale: f64,
+}
+
+impl<D: ContinuousDistribution> Affine<D> {
+    /// Creates the transformed distribution; `scale` must be finite and
+    /// positive, `shift` finite.
+    pub fn new(inner: D, shift: f64, scale: f64) -> Result<Self> {
+        if !shift.is_finite() {
+            return Err(DistError::bad_param("shift", "must be finite"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::bad_param("scale", "must be finite and positive"));
+        }
+        Ok(Affine {
+            inner,
+            shift,
+            scale,
+        })
+    }
+
+    /// A pure shift (`scale = 1`).
+    pub fn shifted(inner: D, shift: f64) -> Result<Self> {
+        Affine::new(inner, shift, 1.0)
+    }
+
+    fn to_inner(&self, x: f64) -> f64 {
+        (x - self.shift) / self.scale
+    }
+}
+
+impl<D: ContinuousDistribution> ContinuousDistribution for Affine<D> {
+    fn name(&self) -> String {
+        format!("{}*{} + {}", self.scale, self.inner.name(), self.shift)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * self.inner.sample(rng) + self.shift
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        self.inner.pdf(self.to_inner(x)) / self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(self.to_inner(x))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.scale * self.inner.quantile(p) + self.shift
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * self.inner.mean() + self.shift
+    }
+
+    fn variance(&self) -> f64 {
+        self.scale * self.scale * self.inner.variance()
+    }
+
+    fn central_moment(&self, k: u32) -> f64 {
+        self.scale.powi(k as i32) * self.inner.central_moment(k)
+    }
+
+    fn phi(&self, beta: f64) -> f64 {
+        self.scale * self.inner.phi(beta)
+    }
+
+    fn theta(&self, kappa: f64) -> f64 {
+        self.inner.theta(kappa / self.scale) / self.scale
+    }
+
+    fn statistical_width(&self, m: usize, beta: f64) -> f64 {
+        self.scale * self.inner.statistical_width(m, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+    use crate::pareto::Pareto;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        let g = Gaussian::standard();
+        assert!(Affine::new(g, 0.0, 0.0).is_err());
+        assert!(Affine::new(g, f64::NAN, 1.0).is_err());
+        assert!(Affine::new(g, 1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn affine_gaussian_equals_reparameterized_gaussian() {
+        let a = Affine::new(Gaussian::standard(), 100.0, 3.0).unwrap();
+        let g = Gaussian::new(100.0, 3.0).unwrap();
+        assert!((a.mean() - g.mean()).abs() < 1e-12);
+        assert!((a.variance() - g.variance()).abs() < 1e-12);
+        for i in 1..20 {
+            let p = i as f64 / 20.0;
+            assert!((a.quantile(p) - g.quantile(p)).abs() < 1e-9);
+        }
+        for x in [-5.0, 95.0, 100.0, 106.0] {
+            assert!((a.pdf(x) - g.pdf(x)).abs() < 1e-12);
+            assert!((a.cdf(x) - g.cdf(x)).abs() < 1e-12);
+        }
+        assert!((a.phi(0.25) - g.phi(0.25)).abs() < 1e-9);
+        assert!((a.central_moment(4) - g.central_moment(4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_moves_pareto_off_support() {
+        let p = Affine::shifted(Pareto::new(1.0, 3.0).unwrap(), -10.0).unwrap();
+        assert!((p.mean() - (1.5 - 10.0)).abs() < 1e-12);
+        // Support of Pareto(1, 3) shifted by −10 starts at −9.
+        assert!(p.cdf(-8.5) > 0.0);
+        assert_eq!(p.cdf(-9.0), 0.0);
+    }
+
+    #[test]
+    fn theta_transforms_correctly() {
+        let inner = Gaussian::standard();
+        let a = Affine::new(inner, 0.0, 10.0).unwrap();
+        let direct = Gaussian::new(0.0, 10.0).unwrap();
+        let k = 0.5;
+        assert!((a.theta(k) - direct.theta(k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_parameters() {
+        let a = Affine::new(Gaussian::standard(), -50.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = a.sample_vec(&mut rng, 100_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean + 50.0).abs() < 0.1, "mean {mean}");
+    }
+}

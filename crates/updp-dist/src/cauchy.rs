@@ -1,0 +1,137 @@
+//! The Cauchy distribution `Cauchy(loc, scale)`.
+//!
+//! No mean, no variance: the paper's utility guarantees for μ and σ² do
+//! not apply, but the *IQR* estimator (Theorem 6.2) still does — IQR is
+//! always well-defined — and every mechanism must at least run without
+//! misbehaving. Cauchy is therefore the stress workload for robustness
+//! tests and for the IQR experiments.
+
+use crate::error::{DistError, Result};
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+use rand::RngCore;
+
+/// A Cauchy distribution with location and scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cauchy {
+    loc: f64,
+    scale: f64,
+}
+
+impl Cauchy {
+    /// Creates `Cauchy(loc, scale)`; `scale` finite positive, `loc` finite.
+    pub fn new(loc: f64, scale: f64) -> Result<Self> {
+        if !loc.is_finite() {
+            return Err(DistError::bad_param("loc", "must be finite"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::bad_param("scale", "must be finite and positive"));
+        }
+        Ok(Cauchy { loc, scale })
+    }
+}
+
+impl ContinuousDistribution for Cauchy {
+    fn name(&self) -> String {
+        format!("Cauchy(loc={}, scale={})", self.loc, self.scale)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 && u < 1.0 {
+                return self.loc + self.scale * (std::f64::consts::PI * (u - 0.5)).tan();
+            }
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.loc) / self.scale;
+        1.0 / (std::f64::consts::PI * self.scale * (1.0 + z * z))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.loc) / self.scale;
+        0.5 + z.atan() / std::f64::consts::PI
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0);
+        self.loc + self.scale * (std::f64::consts::PI * (p - 0.5)).tan()
+    }
+
+    fn mean(&self) -> f64 {
+        f64::NAN
+    }
+
+    fn variance(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn central_moment(&self, _k: u32) -> f64 {
+        f64::INFINITY
+    }
+
+    fn phi(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta < 1.0);
+        // Symmetric unimodal: centered interval of mass β.
+        2.0 * self.scale * (std::f64::consts::PI * beta / 2.0).tan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Cauchy::new(0.0, 0.0).is_err());
+        assert!(Cauchy::new(f64::NAN, 1.0).is_err());
+        assert!(Cauchy::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn iqr_is_twice_scale() {
+        let c = Cauchy::new(3.0, 2.0).unwrap();
+        // quartiles at loc ± scale.
+        assert!((c.iqr() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let c = Cauchy::new(-1.0, 0.5).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((c.cdf(c.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn undefined_moments() {
+        let c = Cauchy::new(0.0, 1.0).unwrap();
+        assert!(c.mean().is_nan());
+        assert_eq!(c.variance(), f64::INFINITY);
+        assert_eq!(c.central_moment(2), f64::INFINITY);
+    }
+
+    #[test]
+    fn phi_mass_is_beta() {
+        let c = Cauchy::new(0.0, 1.5).unwrap();
+        let beta = 1.0 / 16.0;
+        let w = c.phi(beta);
+        let mass = c.cdf(w / 2.0) - c.cdf(-w / 2.0);
+        assert!((mass - beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_median_matches_location() {
+        let c = Cauchy::new(10.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = c.sample_vec(&mut rng, 100_001);
+        s.sort_by(f64::total_cmp);
+        let median = s[50_000];
+        assert!((median - 10.0).abs() < 0.05, "median {median}");
+    }
+}

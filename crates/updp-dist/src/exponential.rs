@@ -1,0 +1,159 @@
+//! The exponential distribution `Exp(λ)`.
+//!
+//! Asymmetric: the truncation biases `E[X < μ−ξ]` and `E[X > μ+ξ]` from
+//! Theorem 4.5 do *not* cancel, making it the canonical workload for
+//! exercising the bias terms in the statistical mean estimator.
+
+use crate::error::{DistError, Result};
+use crate::sampling::sample_standard_exponential;
+use crate::traits::{numeric_central_moment, ContinuousDistribution};
+use rand::RngCore;
+
+/// An exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates `Exp(lambda)`; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistError::bad_param(
+                "lambda",
+                "must be finite and positive",
+            ));
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn name(&self) -> String {
+        format!("Exponential(lambda={})", self.lambda)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        sample_standard_exponential(rng) / self.lambda
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0);
+        -(1.0 - p).ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+
+    fn central_moment(&self, k: u32) -> f64 {
+        match k {
+            1 => 2.0 / (std::f64::consts::E * self.lambda), // E|X−μ| = 2/(eλ)
+            2 => self.variance(),
+            _ => numeric_central_moment(self, k),
+        }
+    }
+
+    fn phi(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta < 1.0);
+        // Density is maximal at 0 and decreasing, so the narrowest
+        // mass-β interval starts at 0: F(w) = β ⇒ w = −ln(1−β)/λ.
+        -(1.0 - beta).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn moments() {
+        let e = Exponential::new(0.5).unwrap();
+        assert_eq!(e.mean(), 2.0);
+        assert_eq!(e.variance(), 4.0);
+        // μ₃ (absolute) numerically; signed third central moment is 2/λ³ = 16,
+        // absolute is larger. μ₄ = 9/λ⁴ = 144.
+        let mu4 = e.central_moment(4);
+        assert!((mu4 - 144.0).abs() / 144.0 < 1e-4, "mu4 = {mu4}");
+    }
+
+    #[test]
+    fn mean_absolute_deviation_formula() {
+        let e = Exponential::new(3.0).unwrap();
+        let analytic = 2.0 / (std::f64::consts::E * 3.0);
+        let numeric = numeric_central_moment(&e, 1);
+        assert!((analytic - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let e = Exponential::new(1.5).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_mass_is_beta() {
+        let e = Exponential::new(2.0).unwrap();
+        let beta = 1.0 / 16.0;
+        let w = e.phi(beta);
+        assert!((e.cdf(w) - beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_bias_is_asymmetric() {
+        let e = Exponential::new(1.0).unwrap();
+        let d: &dyn ContinuousDistribution = &e;
+        let xi = 3.0;
+        let lower = d.lower_truncation_bias(e.mean() - xi); // below 0: zero mass
+        let upper = d.upper_truncation_bias(e.mean() + xi);
+        assert_eq!(lower, 0.0);
+        assert!(upper > 0.0, "right tail bias must be positive: {upper}");
+    }
+
+    #[test]
+    fn sample_mean_matches() {
+        let e = Exponential::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = e.sample_vec(&mut rng, 200_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+}

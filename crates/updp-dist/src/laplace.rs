@@ -1,0 +1,148 @@
+//! The Laplace distribution as a *data* distribution `Lap(μ, b)`.
+//!
+//! Distinct from the Laplace *mechanism* in `updp-core`: here Laplace
+//! models heavier-than-Gaussian but light-tailed data, with all central
+//! moments `μ_k = k!·b^k` finite.
+
+use crate::error::{DistError, Result};
+use crate::special::factorial;
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+use rand::RngCore;
+
+/// A Laplace distribution with location `mu` and scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceDist {
+    mu: f64,
+    b: f64,
+}
+
+impl LaplaceDist {
+    /// Creates `Lap(mu, b)`; `b` must be finite and positive, `mu` finite.
+    pub fn new(mu: f64, b: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(DistError::bad_param("mu", "must be finite"));
+        }
+        if !(b.is_finite() && b > 0.0) {
+            return Err(DistError::bad_param("b", "must be finite and positive"));
+        }
+        Ok(LaplaceDist { mu, b })
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDistribution for LaplaceDist {
+    fn name(&self) -> String {
+        format!("Laplace(mu={}, b={})", self.mu, self.b)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        loop {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            let a = 1.0 - 2.0 * u.abs();
+            if a > 0.0 {
+                return self.mu - self.b * u.signum() * a.ln();
+            }
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        (-(x - self.mu).abs() / self.b).exp() / (2.0 * self.b)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.b;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0);
+        if p < 0.5 {
+            self.mu + self.b * (2.0 * p).ln()
+        } else {
+            self.mu - self.b * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.b * self.b
+    }
+
+    fn central_moment(&self, k: u32) -> f64 {
+        // |X − μ| ~ Exp(1/b): E|X−μ|^k = k!·b^k.
+        factorial(k) * self.b.powi(k as i32)
+    }
+
+    fn phi(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta < 1.0);
+        // Symmetric unimodal: centered interval; F(w/2)−F(−w/2) = 1−e^{−w/(2b)}.
+        -2.0 * self.b * (1.0 - beta).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(LaplaceDist::new(0.0, 0.0).is_err());
+        assert!(LaplaceDist::new(f64::NAN, 1.0).is_err());
+        assert!(LaplaceDist::new(0.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn moments() {
+        let l = LaplaceDist::new(1.0, 3.0).unwrap();
+        assert_eq!(l.mean(), 1.0);
+        assert_eq!(l.variance(), 18.0);
+        assert!((l.central_moment(2) - 18.0).abs() < 1e-12);
+        // μ₄ = 24 b⁴
+        assert!((l.central_moment(4) - 24.0 * 81.0).abs() < 1e-9);
+        // μ₁ = b
+        assert!((l.central_moment(1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let l = LaplaceDist::new(-2.0, 0.7).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((l.cdf(l.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_mass_is_exactly_beta() {
+        let l = LaplaceDist::new(0.0, 2.0).unwrap();
+        let beta = 1.0 / 16.0;
+        let w = l.phi(beta);
+        let mass = l.cdf(w / 2.0) - l.cdf(-w / 2.0);
+        assert!((mass - beta).abs() < 1e-12, "mass = {mass}");
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let l = LaplaceDist::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = l.sample_vec(&mut rng, 200_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / s.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.3, "var {var}");
+    }
+}

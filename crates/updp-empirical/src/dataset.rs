@@ -1,0 +1,226 @@
+//! Sorted integer multisets with the order/count queries of Section 2.1.
+//!
+//! All empirical algorithms work on `D ∈ Zⁿ` kept sorted, giving
+//! `O(log n)` implementations of the quantities the paper defines:
+//! `rad(D) = maxᵢ |Xᵢ|`, `γ(D) = Xₙ − X₁`, and
+//! `Count(D, x) = |D ∩ [−x, x]|` (the SVT query of Algorithm 3).
+
+use updp_core::error::{Result, UpdpError};
+
+/// A sorted multiset of integers — the dataset type `D ∈ Zⁿ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedInts {
+    values: Vec<i64>,
+}
+
+impl SortedInts {
+    /// Builds a dataset from arbitrary-order values (sorts internally).
+    pub fn new(mut values: Vec<i64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(UpdpError::EmptyDataset);
+        }
+        values.sort_unstable();
+        Ok(SortedInts { values })
+    }
+
+    /// Builds from already-sorted values (checked in debug builds).
+    pub fn from_sorted(values: Vec<i64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(UpdpError::EmptyDataset);
+        }
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        Ok(SortedInts { values })
+    }
+
+    /// Number of records `n`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false: construction rejects empty datasets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Smallest element `X₁`.
+    pub fn min(&self) -> i64 {
+        self.values[0]
+    }
+
+    /// Largest element `Xₙ`.
+    pub fn max(&self) -> i64 {
+        *self.values.last().expect("non-empty")
+    }
+
+    /// The radius `rad(D) = maxᵢ |Xᵢ|`, as `u64` (handles `i64::MIN`).
+    pub fn radius(&self) -> u64 {
+        let lo = self.min().unsigned_abs();
+        let hi = self.max().unsigned_abs();
+        lo.max(hi)
+    }
+
+    /// The width `γ(D) = Xₙ − X₁`, as `u64` (cannot overflow in `u64`).
+    pub fn width(&self) -> u64 {
+        (self.max() as i128 - self.min() as i128) as u64
+    }
+
+    /// `Count(D, x) = |D ∩ [−x, x]|` — the sensitivity-1 SVT query of
+    /// Algorithm 3. `x` is a `u64` radius; values beyond `i64`'s range
+    /// trivially cover everything.
+    pub fn count_within_radius(&self, x: u64) -> usize {
+        let hi = i64::try_from(x).unwrap_or(i64::MAX);
+        let lo = if x >= 1u64 << 63 {
+            i64::MIN
+        } else {
+            -(x as i64)
+        };
+        self.count_in(lo, hi)
+    }
+
+    /// `|D ∩ [lo, hi]|` via two binary searches.
+    pub fn count_in(&self, lo: i64, hi: i64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        let start = self.values.partition_point(|&v| v < lo);
+        let end = self.values.partition_point(|&v| v <= hi);
+        end - start
+    }
+
+    /// Number of elements `< x`.
+    pub fn count_below(&self, x: i64) -> usize {
+        self.values.partition_point(|&v| v < x)
+    }
+
+    /// The τ-th order statistic `X_τ` (1-based), with the paper's edge
+    /// convention `X_i = X_1` for `i < 1` and `X_i = X_n` for `i > n`.
+    pub fn order_statistic(&self, tau: i64) -> i64 {
+        let idx = tau.clamp(1, self.values.len() as i64) as usize - 1;
+        self.values[idx]
+    }
+
+    /// Clips every value into `[lo, hi]`, preserving sortedness.
+    pub fn clip(&self, lo: i64, hi: i64) -> SortedInts {
+        debug_assert!(lo <= hi);
+        SortedInts {
+            values: self.values.iter().map(|&v| v.clamp(lo, hi)).collect(),
+        }
+    }
+
+    /// Shifts every value by `−shift` (i.e. recenters at `shift`),
+    /// saturating at the `i64` boundary — the `D″ = D − X̃` step of
+    /// Algorithm 4.
+    pub fn shift_by(&self, shift: i64) -> SortedInts {
+        SortedInts {
+            values: self
+                .values
+                .iter()
+                .map(|&v| v.saturating_sub(shift))
+                .collect(),
+        }
+    }
+
+    /// The empirical mean `μ(D)` as `f64` (exact i128 accumulation).
+    pub fn mean(&self) -> f64 {
+        let sum: i128 = self.values.iter().map(|&v| v as i128).sum();
+        sum as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_rejects_empty() {
+        assert!(SortedInts::new(vec![]).is_err());
+        let d = SortedInts::new(vec![3, -1, 2]).unwrap();
+        assert_eq!(d.values(), &[-1, 2, 3]);
+    }
+
+    #[test]
+    fn radius_and_width() {
+        let d = SortedInts::new(vec![-7, 1, 5]).unwrap();
+        assert_eq!(d.radius(), 7);
+        assert_eq!(d.width(), 12);
+        let single = SortedInts::new(vec![4]).unwrap();
+        assert_eq!(single.radius(), 4);
+        assert_eq!(single.width(), 0);
+    }
+
+    #[test]
+    fn radius_handles_i64_min() {
+        let d = SortedInts::new(vec![i64::MIN, 0]).unwrap();
+        assert_eq!(d.radius(), 1u64 << 63);
+        assert_eq!(d.width(), 1u64 << 63);
+    }
+
+    #[test]
+    fn count_within_radius_matches_naive() {
+        let d = SortedInts::new(vec![-10, -3, 0, 0, 4, 9]).unwrap();
+        for x in 0..12u64 {
+            let naive = d
+                .values()
+                .iter()
+                .filter(|&&v| v.unsigned_abs() <= x)
+                .count();
+            assert_eq!(d.count_within_radius(x), naive, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn count_within_huge_radius_covers_all() {
+        let d = SortedInts::new(vec![i64::MIN, -5, i64::MAX]).unwrap();
+        assert_eq!(d.count_within_radius(u64::MAX), 3);
+    }
+
+    #[test]
+    fn count_in_and_below() {
+        let d = SortedInts::new(vec![1, 2, 2, 2, 5]).unwrap();
+        assert_eq!(d.count_in(2, 2), 3);
+        assert_eq!(d.count_in(0, 10), 5);
+        assert_eq!(d.count_in(3, 4), 0);
+        assert_eq!(d.count_in(5, 1), 0);
+        assert_eq!(d.count_below(2), 1);
+        assert_eq!(d.count_below(6), 5);
+    }
+
+    #[test]
+    fn order_statistic_with_edge_convention() {
+        let d = SortedInts::new(vec![10, 20, 30]).unwrap();
+        assert_eq!(d.order_statistic(1), 10);
+        assert_eq!(d.order_statistic(2), 20);
+        assert_eq!(d.order_statistic(3), 30);
+        assert_eq!(d.order_statistic(0), 10); // below range → X₁
+        assert_eq!(d.order_statistic(99), 30); // above range → Xₙ
+    }
+
+    #[test]
+    fn clip_and_shift() {
+        let d = SortedInts::new(vec![-100, 0, 100]).unwrap();
+        let c = d.clip(-10, 10);
+        assert_eq!(c.values(), &[-10, 0, 10]);
+        let s = d.shift_by(50);
+        assert_eq!(s.values(), &[-150, -50, 50]);
+    }
+
+    #[test]
+    fn shift_saturates() {
+        let d = SortedInts::new(vec![i64::MIN + 1]).unwrap();
+        let s = d.shift_by(10);
+        assert_eq!(s.values(), &[i64::MIN]);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let d = SortedInts::new(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(d.mean(), 2.5);
+        let big = SortedInts::new(vec![i64::MAX, i64::MAX]).unwrap();
+        assert!((big.mean() - i64::MAX as f64).abs() < 1e3);
+    }
+}

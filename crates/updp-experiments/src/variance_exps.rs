@@ -1,0 +1,126 @@
+//! Experiments for statistical variance estimation (Section 5).
+//!
+//! `gauss-var` (Thm 5.3 vs Eq. 10/11), `heavy-var` (Thm 5.5).
+
+use crate::config::ExpConfig;
+use crate::table::Table;
+use crate::trial::{fmt_err, run_trials};
+use updp_baselines::{coinpress_variance, kv18_gaussian_variance, sample_variance};
+use updp_core::privacy::Epsilon;
+use updp_dist::{ContinuousDistribution, Gaussian, LogNormal, Pareto, StudentT};
+use updp_statistical::estimate_variance;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// `gauss-var` — Theorem 5.3: the universal estimator tracks σ across 12
+/// orders of magnitude with NO σ_min/σ_max, while both baselines need the
+/// bounds and degrade when they are loose.
+pub fn gauss_var(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "gauss-var",
+        "Gaussian variance across scale decades (Thm 5.3 vs Eq. 10/11)",
+        "ours: log log σ dependence, no bounds; KV18 pays log(σmax/σmin) bins, CoinPress pays its starting interval",
+        vec![
+            "σ",
+            "ours rel err",
+            "KV18 rel err (loose bounds)",
+            "CoinPress rel err (loose bounds)",
+            "non-private rel err",
+        ],
+    );
+    let e = eps(0.5);
+    let n = cfg.n(20_000);
+    let master = cfg.master_for("gauss-var");
+    // Loose-but-valid bounds spanning everything: σ ∈ [1e-8, 1e8].
+    let (smin, smax) = (1e-8, 1e8);
+    for (si, &sigma) in [1e-6f64, 1e-2, 1.0, 1e2, 1e6].iter().enumerate() {
+        let g = Gaussian::new(0.0, sigma).unwrap();
+        let truth = g.variance();
+        let m = master.wrapping_add(si as u64 * 3571);
+        let rel = |s: crate::trial::ErrorStats| s.median / truth;
+        let ours = run_trials(cfg.trials, m, truth, |rng| {
+            let data = g.sample_vec(rng, n);
+            estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)
+        });
+        let kv = run_trials(cfg.trials, m ^ 1, truth, |rng| {
+            let data = g.sample_vec(rng, n);
+            kv18_gaussian_variance(rng, &data, smin, smax, e)
+        });
+        let cp = run_trials(cfg.trials, m ^ 2, truth, |rng| {
+            let data = g.sample_vec(rng, n);
+            coinpress_variance(rng, &data, smin, smax, e, 4)
+        });
+        let np = run_trials(cfg.trials, m ^ 3, truth, |rng| {
+            sample_variance(&g.sample_vec(rng, n))
+        });
+        t.push_row(vec![
+            format!("{sigma:e}"),
+            fmt_err(rel(ours)),
+            fmt_err(rel(kv)),
+            fmt_err(rel(cp)),
+            fmt_err(rel(np)),
+        ]);
+    }
+    t.note("relative error |σ̃²−σ²|/σ²; the universal column stays flat across 12 decades of σ with zero prior knowledge");
+    t
+}
+
+/// `heavy-var` — Theorem 5.5: the first private variance estimator for
+/// heavy-tailed distributions; only the non-private estimator exists as a
+/// reference.
+pub fn heavy_var(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "heavy-var",
+        "Heavy-tailed variance — first of its kind (Thm 5.5)",
+        "error √μ₄/√n + Õ(μ_k^{2/k}/(εn)^{1−2/k}); no prior private estimator exists for these families",
+        vec![
+            "distribution",
+            "n",
+            "ours rel err",
+            "non-private rel err",
+            "ours p90 rel",
+        ],
+    );
+    let e = eps(0.5);
+    let master = cfg.master_for("heavy-var");
+    let dists: Vec<(String, Box<dyn ContinuousDistribution>)> = vec![
+        (
+            "Pareto(1, 5)".into(),
+            Box::new(Pareto::new(1.0, 5.0).unwrap()),
+        ),
+        (
+            "StudentT(6)".into(),
+            Box::new(StudentT::new(6.0, 0.0, 1.0).unwrap()),
+        ),
+        (
+            "LogNormal(0, 0.75)".into(),
+            Box::new(LogNormal::new(0.0, 0.75).unwrap()),
+        ),
+    ];
+    for (di, (label, dist)) in dists.iter().enumerate() {
+        let d = dist.as_ref();
+        let truth = d.variance();
+        for (ni, &n_full) in [8_000usize, 64_000].iter().enumerate() {
+            let n = cfg.n(n_full);
+            let m = master.wrapping_add((di * 10 + ni) as u64 * 6007);
+            let ours = run_trials(cfg.trials, m, truth, |rng| {
+                let data = d.sample_vec(rng, n);
+                estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)
+            });
+            let np = run_trials(cfg.trials, m ^ 1, truth, |rng| {
+                sample_variance(&d.sample_vec(rng, n))
+            });
+            t.push_row(vec![
+                label.clone(),
+                n.to_string(),
+                fmt_err(ours.median / truth),
+                fmt_err(np.median / truth),
+                fmt_err(ours.p90 / truth),
+            ]);
+        }
+    }
+    t.note("the private column approaches the non-private one as n grows: privacy is asymptotically free at these moments");
+    t
+}

@@ -1,0 +1,58 @@
+//! Quickstart: estimate mean, variance, and IQR of unknown data under
+//! pure ε-DP with zero prior knowledge.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use updp::core::rng;
+use updp::dist::{ContinuousDistribution, Gaussian};
+use updp::prelude::*;
+
+fn main() -> Result<()> {
+    // Pretend this is sensitive data we know nothing about: the analyst
+    // has NOT been told the mean is ~37000 or the scale is ~250.
+    let secret_distribution = Gaussian::new(37_000.0, 250.0).expect("valid parameters");
+    let mut rng = rng::seeded(2023);
+    let data = secret_distribution.sample_vec(&mut rng, 50_000);
+
+    // One configured estimator, total privacy cost ε = 1 for all three
+    // parameters (the budget is split internally via basic composition).
+    let epsilon = Epsilon::new(1.0).expect("valid epsilon");
+    let estimator = UniversalEstimator::new(epsilon);
+    let all = estimator.all(&mut rng, &data)?;
+
+    println!("universal private estimators (total ε = {})", epsilon.get());
+    println!("  records           : {}", data.len());
+    println!(
+        "  mean              : {:>12.2}   (true {:.2})",
+        all.mean.estimate,
+        secret_distribution.mean()
+    );
+    println!(
+        "  variance          : {:>12.2}   (true {:.2})",
+        all.variance.estimate,
+        secret_distribution.variance()
+    );
+    println!(
+        "  IQR               : {:>12.2}   (true {:.2})",
+        all.iqr.estimate,
+        secret_distribution.iqr()
+    );
+    println!();
+    println!("diagnostics:");
+    println!(
+        "  bucket (private IQR lower bound) : {:.4}",
+        all.mean.bucket
+    );
+    println!(
+        "  clipping range found privately   : [{:.1}, {:.1}]",
+        all.mean.range.lo, all.mean.range.hi
+    );
+    println!(
+        "  full-data points clipped         : {} of {}",
+        all.mean.clipped,
+        data.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Adversarial-input robustness: every public estimator must either
+//! return a finite answer or a descriptive error — never panic, never
+//! NaN — on pathological datasets a hostile or buggy client could send.
+
+use updp::core::privacy::{Delta, Epsilon};
+use updp::core::rng::seeded;
+use updp::core::UpdpError;
+use updp::empirical::{infinite_domain_mean, infinite_domain_sum, SortedInts};
+use updp::statistical::{estimate_quantile, estimate_quantile_range};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Pathological real-valued datasets.
+fn adversarial_real_datasets() -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("all identical", vec![42.0; 500]),
+        ("two point masses", {
+            let mut v = vec![-1e9; 250];
+            v.extend(vec![1e9; 250]);
+            v
+        }),
+        (
+            "alternating extremes",
+            (0..500)
+                .map(|i| if i % 2 == 0 { -1e15 } else { 1e15 })
+                .collect(),
+        ),
+        (
+            "subnormal scale",
+            (0..500).map(|i| (i as f64) * 1e-310).collect(),
+        ),
+        (
+            "huge magnitudes",
+            (0..500).map(|i| 1e300 - (i as f64) * 1e290).collect(),
+        ),
+        ("single outlier", {
+            let mut v = vec![0.0; 499];
+            v.push(1e18);
+            v
+        }),
+        (
+            "geometric spread",
+            (0..500).map(|i| 2f64.powi(i % 200 - 100)).collect(),
+        ),
+        (
+            "tiny n",
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+        ),
+    ]
+}
+
+/// Acceptable outcomes: finite estimate, or a *specific* documented
+/// error (never a panic, which would fail the test by unwinding).
+fn acceptable(result: updp::core::Result<f64>, label: &str) {
+    match result {
+        Ok(v) => assert!(v.is_finite(), "{label}: non-finite estimate {v}"),
+        Err(UpdpError::DomainOverflow { .. })
+        | Err(UpdpError::InsufficientData { .. })
+        | Err(UpdpError::MechanismRefused { .. }) => {}
+        Err(e) => panic!("{label}: unexpected error kind: {e}"),
+    }
+}
+
+#[test]
+fn statistical_mean_survives_adversarial_inputs() {
+    for (label, data) in adversarial_real_datasets() {
+        let mut rng = seeded(1);
+        acceptable(
+            updp::statistical::estimate_mean(&mut rng, &data, eps(1.0), 0.2).map(|r| r.estimate),
+            label,
+        );
+    }
+}
+
+#[test]
+fn statistical_variance_survives_adversarial_inputs() {
+    for (label, data) in adversarial_real_datasets() {
+        let mut rng = seeded(2);
+        acceptable(
+            updp::statistical::estimate_variance(&mut rng, &data, eps(1.0), 0.2)
+                .map(|r| r.estimate),
+            label,
+        );
+    }
+}
+
+#[test]
+fn statistical_iqr_survives_adversarial_inputs() {
+    for (label, data) in adversarial_real_datasets() {
+        let mut rng = seeded(3);
+        acceptable(
+            updp::statistical::estimate_iqr(&mut rng, &data, eps(1.0), 0.2).map(|r| r.estimate),
+            label,
+        );
+    }
+}
+
+#[test]
+fn statistical_quantiles_survive_adversarial_inputs() {
+    for (label, data) in adversarial_real_datasets() {
+        let mut rng = seeded(4);
+        for q in [0.01, 0.5, 0.99] {
+            acceptable(
+                estimate_quantile(&mut rng, &data, q, eps(1.0), 0.2).map(|r| r.estimate),
+                label,
+            );
+        }
+        acceptable(
+            estimate_quantile_range(&mut rng, &data, 0.1, 0.9, eps(1.0), 0.2),
+            label,
+        );
+    }
+}
+
+#[test]
+fn empirical_layer_survives_integer_extremes() {
+    let datasets: Vec<(&str, Vec<i64>)> = vec![
+        (
+            "i64 extremes",
+            vec![i64::MIN, i64::MIN / 2, 0, i64::MAX / 2, i64::MAX],
+        ),
+        ("all i64::MAX", vec![i64::MAX; 100]),
+        ("all i64::MIN", vec![i64::MIN; 100]),
+        ("zero heavy", vec![0; 1000]),
+    ];
+    for (label, values) in datasets {
+        let d = SortedInts::new(values).unwrap();
+        let mut rng = seeded(5);
+        let m = infinite_domain_mean(&mut rng, &d, eps(1.0), 0.2).unwrap();
+        assert!(m.estimate.is_finite(), "{label}: mean {:?}", m.estimate);
+        let s = infinite_domain_sum(&mut rng, &d, eps(1.0), 0.2).unwrap();
+        assert!(s.estimate.is_finite(), "{label}: sum {:?}", s.estimate);
+    }
+}
+
+#[test]
+fn nan_and_infinity_are_rejected_not_propagated() {
+    let bad_inputs = [vec![f64::NAN; 100], vec![f64::INFINITY; 100], {
+        let mut v = vec![1.0; 99];
+        v.push(f64::NEG_INFINITY);
+        v
+    }];
+    let mut rng = seeded(6);
+    for data in &bad_inputs {
+        assert!(matches!(
+            updp::statistical::estimate_mean(&mut rng, data, eps(1.0), 0.2),
+            Err(UpdpError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            updp::statistical::estimate_variance(&mut rng, data, eps(1.0), 0.2),
+            Err(UpdpError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            updp::statistical::estimate_iqr(&mut rng, data, eps(1.0), 0.2),
+            Err(UpdpError::NonFiniteInput { .. })
+        ));
+    }
+}
+
+#[test]
+fn dl09_baseline_refuses_rather_than_leaks_on_degenerate_data() {
+    // The (ε,δ)-DP baseline's refusal branch must engage on data where
+    // the IQR is unstable, rather than emitting something data-revealing.
+    let mut rng = seeded(7);
+    let degenerate = vec![5.0; 1000];
+    let r = updp::baselines::dl09_iqr(&mut rng, &degenerate, eps(1.0), Delta::new(1e-6).unwrap());
+    assert!(matches!(r, Err(UpdpError::MechanismRefused { .. })));
+}
+
+#[test]
+fn estimators_handle_presorted_and_reverse_sorted_input() {
+    // Input order must not matter for correctness (pairing uses order,
+    // but estimates must stay accurate for exchangeable data).
+    let base: Vec<f64> = (0..10_000).map(|i| (i % 997) as f64).collect();
+    let mut sorted = base.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mut reversed = sorted.clone();
+    reversed.reverse();
+    let truth = base.iter().sum::<f64>() / base.len() as f64;
+    for (label, data) in [
+        ("shuffled", &base),
+        ("sorted", &sorted),
+        ("reversed", &reversed),
+    ] {
+        let mut rng = seeded(8);
+        let m = updp::statistical::estimate_mean(&mut rng, data, eps(1.0), 0.1).unwrap();
+        assert!(
+            (m.estimate - truth).abs() < 60.0,
+            "{label}: estimate {} vs {truth}",
+            m.estimate
+        );
+    }
+}
