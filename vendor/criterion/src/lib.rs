@@ -1,0 +1,232 @@
+//! Offline subset of `criterion`: same macros and builder surface, simple
+//! wall-clock measurement underneath.
+//!
+//! The benches in `crates/updp-bench` are written against the real
+//! criterion API so they can be pointed at upstream criterion unchanged
+//! once the build environment has registry access. This shim (see
+//! `vendor/README.md`) runs each benchmark with a short calibration pass
+//! followed by a timed pass and prints mean time per iteration plus
+//! throughput when configured. It performs no statistical analysis.
+//!
+//! Tuning knobs (environment variables):
+//! * `CRITERION_SHIM_TARGET_MS` — target measurement time per benchmark
+//!   in milliseconds (default 300).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favor of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+fn target_time() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_TARGET_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs one
+/// setup per iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Measures a single benchmark body.
+pub struct Bencher {
+    iters_run: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_run: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: estimate cost with an exponentially growing probe.
+        let mut probe = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..probe {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took > Duration::from_millis(10) || probe >= 1 << 20 {
+                break took / probe.max(1) as u32;
+            }
+            probe *= 2;
+        };
+        let iters =
+            (target_time().as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_run = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut probe = 1u64;
+        let per_iter = loop {
+            let inputs: Vec<I> = (0..probe).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let took = start.elapsed();
+            if took > Duration::from_millis(10) || probe >= 1 << 20 {
+                break took / probe.max(1) as u32;
+            }
+            probe *= 2;
+        };
+        let iters =
+            (target_time().as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters_run = iters;
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_run.max(1) as f64;
+    let mut line = format!(
+        "{name:<48} {:>12}/iter ({} iters)",
+        fmt_nanos(per_iter),
+        b.iters_run
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (per_iter / 1_000_000_000.0);
+        line.push_str(&format!("  {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name, &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

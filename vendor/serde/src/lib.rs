@@ -1,0 +1,21 @@
+//! Offline subset of `serde`: the `Serialize`/`Deserialize` marker traits
+//! and their derives.
+//!
+//! The workspace derives these traits on a handful of result types so
+//! downstream consumers *can* serialize them, but nothing in-tree calls a
+//! serializer yet. Until a real serialization backend is needed, this
+//! vendored shim (see `vendor/README.md`) provides the trait names and a
+//! derive that emits marker impls, keeping the source files identical to
+//! what they would be against real `serde`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker form of `serde::Serialize`. Carries no methods until a real
+/// serialization backend is vendored or fetched.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

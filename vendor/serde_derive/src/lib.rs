@@ -1,0 +1,56 @@
+//! Derive macros for the vendored `serde` shim: emit marker-trait impls
+//! for the annotated type. `#[serde(...)]` container/field attributes are
+//! accepted and ignored (there is no serialization backend to configure).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword,
+/// plus whether a generic parameter list follows it.
+fn type_name(input: TokenStream) -> (String, bool) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{id}`, found {other:?}"),
+                };
+                let generic = matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return (name, generic);
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct/enum/union found in derive input");
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    let (name, generic) = type_name(input);
+    assert!(
+        !generic,
+        "serde_derive shim: generic type `{name}` is not supported; \
+         extend vendor/serde_derive if a generic type needs the derive"
+    );
+    template.replace("__NAME__", &name).parse().unwrap()
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
