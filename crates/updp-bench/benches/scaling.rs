@@ -7,8 +7,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use updp_bench::{bench_rng, gaussian_data};
+use updp_core::clipped_mean::{clipped_mean, clipped_mean_with_outside, count_outside};
 use updp_core::privacy::Epsilon;
-use updp_statistical::{estimate_iqr, estimate_mean, estimate_variance};
+use updp_statistical::{estimate_iqr, estimate_mean, estimate_variance, pair_gaps};
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
@@ -53,10 +54,68 @@ fn bench_iqr_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Old-vs-new `pair_gaps` counting at n = 10⁶: the historical
+/// implementation sorted all n/2 gaps (`O(n log n)`) so the SVT
+/// searches could `partition_point`; the rewrite answers each of the
+/// `O(log log)` thresholds with an `O(n)` (summary-assisted) count.
+fn bench_pair_gaps_counting(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = gaussian_data(n);
+    // The thresholds a typical Algorithm 7 run probes (up/down doubling
+    // around the data scale).
+    let thresholds: Vec<f64> = (-10..=10).map(|k| 2f64.powi(k)).collect();
+    let mut group = c.benchmark_group("scaling/pair_gaps_count_n=1e6");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("old_full_sort", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            let gaps = pair_gaps(&mut rng, black_box(&data));
+            let mut sorted = gaps.values().to_vec();
+            sorted.sort_by(f64::total_cmp);
+            thresholds
+                .iter()
+                .map(|&x| sorted.partition_point(|&v| v <= x))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("new_linear_count", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            let gaps = pair_gaps(&mut rng, black_box(&data));
+            thresholds.iter().map(|&x| gaps.count_le(x)).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Fused vs separate clipped-mean + outside-count at n = 10⁶: the
+/// Algorithm 8/9 release formerly re-scanned the full dataset just to
+/// fill the `clipped` diagnostic.
+fn bench_fused_clipped_mean(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = gaussian_data(n);
+    let (lo, hi) = (90.0, 110.0);
+    let mut group = c.benchmark_group("scaling/clipped_mean_n=1e6");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("old_two_passes", |b| {
+        b.iter(|| {
+            let mean = clipped_mean(black_box(&data), lo, hi).unwrap();
+            let outside = count_outside(black_box(&data), lo, hi);
+            (mean, outside)
+        })
+    });
+    group.bench_function("new_fused_pass", |b| {
+        b.iter(|| clipped_mean_with_outside(black_box(&data), lo, hi).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mean_scaling,
     bench_variance_scaling,
-    bench_iqr_scaling
+    bench_iqr_scaling,
+    bench_pair_gaps_counting,
+    bench_fused_clipped_mean
 );
 criterion_main!(benches);

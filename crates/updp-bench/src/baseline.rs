@@ -1,0 +1,395 @@
+//! The committed perf-baseline report (`BENCH_baseline.json`).
+//!
+//! Every later perf PR is judged against the numbers in this file, so
+//! the schema is owned by code: the `bench_baseline` binary writes it
+//! through [`BaselineReport::to_json`] and CI smoke-checks that the
+//! JSON round-trips through [`BaselineReport::from_json`] on every
+//! push (`bench_baseline --check`), keeping the binary and the schema
+//! from rotting.
+//!
+//! The JSON writer/parser here is deliberately first-party and tiny:
+//! the build environment has no crates.io access and the vendored
+//! `serde` shim does not include a JSON backend. Numbers are emitted
+//! with Rust's shortest-round-trip `Display` for `f64`, so
+//! `from_json(to_json(r)) == r` exactly.
+
+/// One macro-workload timing row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroRow {
+    /// Workload name (`estimate_mean`, `estimate_variance`, `estimate_iqr`).
+    pub workload: String,
+    /// Dataset size.
+    pub n: usize,
+    /// Wall milliseconds per estimate (averaged over the harness reps).
+    pub ms: f64,
+}
+
+/// Wall time of `experiments all --quick` under the serial and parallel
+/// engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentsQuick {
+    /// Wall milliseconds with `UPDP_THREADS=1`.
+    pub serial_ms: f64,
+    /// Wall milliseconds with `UPDP_THREADS=threads`.
+    pub parallel_ms: f64,
+    /// Worker count used for the parallel measurement.
+    pub threads: usize,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The full baseline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Schema tag; bump on breaking changes.
+    pub schema: String,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the context needed to interpret `speedup`.
+    pub host_threads: usize,
+    /// Macro workload timings.
+    pub micro: Vec<MicroRow>,
+    /// Experiment-suite wall times.
+    pub experiments_quick: ExperimentsQuick,
+    /// Free-form measurement caveats (e.g. single-core host).
+    pub note: String,
+}
+
+/// The current schema tag.
+pub const SCHEMA: &str = "updp-bench-baseline/v1";
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl BaselineReport {
+    /// Serializes to pretty-printed JSON (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", esc(&self.schema)));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str("  \"micro\": [\n");
+        for (i, row) in self.micro.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"n\": {}, \"ms\": {}}}{}\n",
+                esc(&row.workload),
+                row.n,
+                row.ms,
+                if i + 1 < self.micro.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let eq = &self.experiments_quick;
+        out.push_str(&format!(
+            "  \"experiments_quick\": {{\"serial_ms\": {}, \"parallel_ms\": {}, \"threads\": {}, \"speedup\": {}}},\n",
+            eq.serial_ms, eq.parallel_ms, eq.threads, eq.speedup
+        ));
+        out.push_str(&format!("  \"note\": \"{}\"\n", esc(&self.note)));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`BaselineReport::to_json`].
+    ///
+    /// A minimal recursive-descent JSON reader (objects, arrays,
+    /// strings, numbers) — strict enough to reject truncated or
+    /// hand-mangled files, lenient about whitespace.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(input)?;
+        let obj = value.as_object("top level")?;
+        let schema = obj.get_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema `{schema}`, expected `{SCHEMA}`"));
+        }
+        let micro = obj
+            .get("micro")?
+            .as_array("micro")?
+            .iter()
+            .map(|v| -> Result<MicroRow, String> {
+                let row = v.as_object("micro row")?;
+                Ok(MicroRow {
+                    workload: row.get_str("workload")?,
+                    n: row.get_f64("n")? as usize,
+                    ms: row.get_f64("ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let eq = obj
+            .get("experiments_quick")?
+            .as_object("experiments_quick")?;
+        Ok(BaselineReport {
+            schema,
+            host_threads: obj.get_f64("host_threads")? as usize,
+            micro,
+            experiments_quick: ExperimentsQuick {
+                serial_ms: eq.get_f64("serial_ms")?,
+                parallel_ms: eq.get_f64("parallel_ms")?,
+                threads: eq.get_f64("threads")? as usize,
+                speedup: eq.get_f64("speedup")?,
+            },
+            note: obj.get_str("note")?,
+        })
+    }
+}
+
+/// A parsed JSON value (only the shapes the baseline schema uses).
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Array(Vec<JsonValue>),
+    String(String),
+    Number(f64),
+}
+
+struct Object<'a>(&'a [(String, JsonValue)]);
+
+impl<'a> Object<'a> {
+    fn get(&self, key: &str) -> Result<&'a JsonValue, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    fn get_str(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(format!("key `{key}` is not a string")),
+        }
+    }
+
+    fn get_f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            JsonValue::Number(x) => Ok(*x),
+            _ => Err(format!("key `{key}` is not a number")),
+        }
+    }
+}
+
+impl JsonValue {
+    fn as_object(&self, what: &str) -> Result<Object<'_>, String> {
+        match self {
+            JsonValue::Object(fields) => Ok(Object(fields)),
+            _ => Err(format!("{what} is not an object")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            _ => Err(format!("{what} is not an array")),
+        }
+    }
+
+    fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {} (found `{}`)",
+            c as char,
+            pos,
+            b.get(*pos).map(|&x| x as char).unwrap_or('∅')
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!(
+            "unexpected `{}` at byte {}",
+            other.map(|&x| x as char).unwrap_or('∅'),
+            pos
+        )),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    other => {
+                        return Err(format!(
+                            "unsupported escape `\\{}` at byte {}",
+                            other.map(|&x| x as char).unwrap_or('∅'),
+                            pos
+                        ))
+                    }
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BaselineReport {
+        BaselineReport {
+            schema: SCHEMA.into(),
+            host_threads: 4,
+            micro: vec![
+                MicroRow {
+                    workload: "estimate_mean".into(),
+                    n: 10_000,
+                    ms: 1.251231,
+                },
+                MicroRow {
+                    workload: "estimate_iqr".into(),
+                    n: 10_000_000,
+                    ms: 1523.0625,
+                },
+            ],
+            experiments_quick: ExperimentsQuick {
+                serial_ms: 523.25,
+                parallel_ms: 151.125,
+                threads: 4,
+                speedup: 523.25 / 151.125,
+            },
+            note: "4-core \"test\" host".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let report = sample();
+        let json = report.to_json();
+        let back = BaselineReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // And a second trip is byte-stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn round_trips_awkward_floats() {
+        let mut report = sample();
+        report.micro[0].ms = 0.1 + 0.2; // 0.30000000000000004
+        report.experiments_quick.speedup = f64::MIN_POSITIVE;
+        let back = BaselineReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rejects_mangled_input() {
+        assert!(BaselineReport::from_json("").is_err());
+        assert!(BaselineReport::from_json("{}").is_err());
+        assert!(BaselineReport::from_json("{\"schema\": \"nope\"}").is_err());
+        let json = sample().to_json();
+        assert!(BaselineReport::from_json(&json[..json.len() - 3]).is_err());
+        assert!(BaselineReport::from_json(&format!("{json}garbage")).is_err());
+    }
+
+    #[test]
+    fn missing_keys_are_named_in_errors() {
+        let err = BaselineReport::from_json(
+            "{\"schema\": \"updp-bench-baseline/v1\", \"host_threads\": 1}",
+        )
+        .unwrap_err();
+        assert!(err.contains("micro"), "unhelpful error: {err}");
+    }
+}

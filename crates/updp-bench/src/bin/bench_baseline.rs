@@ -1,0 +1,176 @@
+//! Measures the perf baseline and writes `BENCH_baseline.json`.
+//!
+//! ```text
+//! bench_baseline [--check] [--out PATH]
+//! ```
+//!
+//! Full mode times the macro workloads — one universal estimate
+//! (mean/variance/IQR) at n ∈ {10⁴, 10⁵, 10⁶, 10⁷} — plus the wall
+//! time of the whole `experiments all --quick` suite under
+//! `UPDP_THREADS=1` (serial) and under the host's available
+//! parallelism, then writes the JSON report every later perf PR is
+//! judged against.
+//!
+//! `--check` is the CI smoke mode: tiny n, a two-experiment suite, and
+//! an assertion that the report round-trips through the schema parser
+//! (`BaselineReport::from_json(to_json(r)) == r`) — keeping the binary
+//! and `BENCH_baseline.json`'s schema from rotting. Nothing is written.
+
+use std::time::Instant;
+use updp_bench::baseline::{BaselineReport, ExperimentsQuick, MicroRow, SCHEMA};
+use updp_bench::gaussian_data;
+use updp_core::privacy::Epsilon;
+use updp_experiments::{registry, ExpConfig};
+use updp_statistical::{estimate_iqr, estimate_mean, estimate_variance};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Times `reps` runs of `f` and returns milliseconds per run.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    started.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn micro_rows(sizes: &[usize]) -> Vec<MicroRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let data = gaussian_data(n);
+        // Amortize timer noise on small inputs; one rep suffices at
+        // n ≥ 10⁶ where a single estimate is tens of milliseconds.
+        let reps = (1_000_000 / n).clamp(1, 50);
+        let mut rng = updp_bench::bench_rng();
+        rows.push(MicroRow {
+            workload: "estimate_mean".into(),
+            n,
+            ms: time_ms(reps, || {
+                estimate_mean(&mut rng, &data, eps(0.5), 0.1).unwrap();
+            }),
+        });
+        let mut rng = updp_bench::bench_rng();
+        rows.push(MicroRow {
+            workload: "estimate_variance".into(),
+            n,
+            ms: time_ms(reps, || {
+                estimate_variance(&mut rng, &data, eps(0.5), 0.1).unwrap();
+            }),
+        });
+        let mut rng = updp_bench::bench_rng();
+        rows.push(MicroRow {
+            workload: "estimate_iqr".into(),
+            n,
+            ms: time_ms(reps, || {
+                estimate_iqr(&mut rng, &data, eps(1.0), 0.1).unwrap();
+            }),
+        });
+        eprintln!("  micro n = {n} done");
+    }
+    rows
+}
+
+/// Wall-times the experiment suite once under `UPDP_THREADS=threads`.
+fn experiments_ms(cfg: &ExpConfig, ids: Option<&[&str]>, threads: usize) -> f64 {
+    std::env::set_var(updp_core::parallel::THREADS_ENV, threads.to_string());
+    let started = Instant::now();
+    for (id, _, f) in registry() {
+        if ids.is_none_or(|list| list.contains(&id)) {
+            let _ = f(cfg);
+        }
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    std::env::remove_var(updp_core::parallel::THREADS_ENV);
+    ms
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    if args
+        .iter()
+        .any(|a| a != "--check" && a != "--out" && a.starts_with("--"))
+        || (args.iter().any(|a| a == "--out") && check)
+    {
+        eprintln!("usage: bench_baseline [--check] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    let threads = host_threads();
+    let report = if check {
+        eprintln!("bench_baseline --check: smoke run (tiny n)");
+        let cfg = ExpConfig {
+            trials: 2,
+            quick: true,
+            ..ExpConfig::default()
+        };
+        let ids = ["emp-mean", "iqr-lb"];
+        let serial_ms = experiments_ms(&cfg, Some(&ids), 1);
+        let parallel_ms = experiments_ms(&cfg, Some(&ids), threads);
+        BaselineReport {
+            schema: SCHEMA.into(),
+            host_threads: threads,
+            micro: micro_rows(&[2_000]),
+            experiments_quick: ExperimentsQuick {
+                serial_ms,
+                parallel_ms,
+                threads,
+                speedup: serial_ms / parallel_ms,
+            },
+            note: "smoke mode (--check): numbers are not a baseline".into(),
+        }
+    } else {
+        eprintln!("bench_baseline: full run (this takes a few minutes)");
+        let cfg = ExpConfig::quick();
+        let serial_ms = experiments_ms(&cfg, None, 1);
+        eprintln!("  experiments all --quick serial: {serial_ms:.0} ms");
+        let parallel_ms = experiments_ms(&cfg, None, threads);
+        eprintln!("  experiments all --quick x{threads}: {parallel_ms:.0} ms");
+        let note = if threads == 1 {
+            "measured on a single-core host: available_parallelism() = 1, so \
+             parallel_ms ~ serial_ms by construction; the >= 2x multi-core \
+             speedup claim must be re-measured on >= 4 cores"
+                .to_string()
+        } else {
+            format!("measured at available_parallelism() = {threads}")
+        };
+        BaselineReport {
+            schema: SCHEMA.into(),
+            host_threads: threads,
+            micro: micro_rows(&[10_000, 100_000, 1_000_000, 10_000_000]),
+            experiments_quick: ExperimentsQuick {
+                serial_ms,
+                parallel_ms,
+                threads,
+                speedup: serial_ms / parallel_ms,
+            },
+            note,
+        }
+    };
+
+    let json = report.to_json();
+    let parsed = BaselineReport::from_json(&json)
+        .unwrap_or_else(|e| panic!("schema round-trip failed to parse: {e}"));
+    assert_eq!(parsed, report, "schema round-trip changed the report");
+
+    if check {
+        println!("bench_baseline --check OK: schema {SCHEMA} round-trips");
+    } else {
+        std::fs::write(&out_path, &json).expect("write baseline report");
+        println!("wrote {out_path}");
+        print!("{json}");
+    }
+}

@@ -1,4 +1,8 @@
-//! Shared helpers for the Criterion benchmarks.
+//! Shared helpers for the Criterion benchmarks, plus the committed
+//! perf-baseline report schema ([`baseline`], written by the
+//! `bench_baseline` binary into `BENCH_baseline.json`).
+
+pub mod baseline;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

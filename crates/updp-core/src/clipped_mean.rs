@@ -83,6 +83,29 @@ pub fn count_outside(data: &[f64], lo: f64, hi: f64) -> usize {
     data.iter().filter(|&&x| x < lo || x > hi).count()
 }
 
+/// Fused single-pass `(clipped_mean, count_outside)`.
+///
+/// The Algorithm 8/9 hot path needs both the clipped mean (the release)
+/// and the number of clipped elements (the bias diagnostic); computing
+/// them separately re-reads the full dataset. This fuses both into the
+/// one pass, with the mean accumulated by *exactly* the same streaming
+/// recurrence as [`clipped_mean`] — the returned mean is bit-identical
+/// to calling the two functions separately.
+pub fn clipped_mean_with_outside(data: &[f64], lo: f64, hi: f64) -> Result<(f64, usize)> {
+    ensure_nonempty(data)?;
+    validate_interval(lo, hi)?;
+    let mut mean = 0.0f64;
+    let mut outside = 0usize;
+    for (i, &x) in data.iter().enumerate() {
+        if x < lo || x > hi {
+            outside += 1;
+        }
+        let c = clip(x, lo, hi);
+        mean += (c - mean) / (i + 1) as f64;
+    }
+    Ok((mean, outside))
+}
+
 fn validate_interval(lo: f64, hi: f64) -> Result<()> {
     if !(lo.is_finite() && hi.is_finite()) {
         return Err(UpdpError::NonFiniteInput {
@@ -180,6 +203,25 @@ mod tests {
         let data = [-5.0, 0.0, 5.0, 10.0, 15.0];
         assert_eq!(count_outside(&data, 0.0, 10.0), 2);
         assert_eq!(count_outside(&data, -10.0, 20.0), 0);
+    }
+
+    #[test]
+    fn fused_pass_matches_separate_calls_bitwise() {
+        let mut rng = seeded(4);
+        use rand::Rng;
+        let data: Vec<f64> = (0..1000)
+            .map(|_| rng.gen::<f64>() * 200.0 - 100.0)
+            .collect();
+        for (lo, hi) in [(-100.0, 100.0), (-10.0, 10.0), (0.0, 0.0), (-1e-3, 1e9)] {
+            let (mean, outside) = clipped_mean_with_outside(&data, lo, hi).unwrap();
+            assert_eq!(
+                mean.to_bits(),
+                clipped_mean(&data, lo, hi).unwrap().to_bits()
+            );
+            assert_eq!(outside, count_outside(&data, lo, hi));
+        }
+        assert!(clipped_mean_with_outside(&[], 0.0, 1.0).is_err());
+        assert!(clipped_mean_with_outside(&[1.0], 2.0, 1.0).is_err());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`snapping`] — Mironov's floating-point-safe snapped Laplace
 //!   release (hardening extension);
 //! * [`rng`] — deterministic seeding utilities for reproducible
-//!   experiments.
+//!   experiments;
+//! * [`parallel`] — deterministic parallel map for embarrassingly
+//!   parallel trial workloads (chunked work-stealing over
+//!   `std::thread::scope`, bit-identical to the serial loop at any
+//!   thread count; DESIGN.md §5).
 //!
 //! Everything downstream (`updp-empirical`, `updp-statistical`,
 //! `updp-baselines`) is built from these pieces; no other crate touches
@@ -36,6 +40,7 @@ pub mod exponential;
 pub mod geometric;
 pub mod inverse_sensitivity;
 pub mod laplace;
+pub mod parallel;
 pub mod privacy;
 pub mod rng;
 pub mod snapping;

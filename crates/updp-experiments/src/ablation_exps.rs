@@ -6,7 +6,7 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::{fmt_err, run_trials};
+use crate::trial::{fmt_err, run_trials, summarize, trial_map};
 use updp_core::privacy::Epsilon;
 use updp_dist::{ContinuousDistribution, Gaussian, GaussianMixture, Pareto};
 use updp_statistical::{estimate_mean, estimate_mean_with_bucket, estimate_mean_with_subsample};
@@ -40,14 +40,26 @@ pub fn ill_behaved(cfg: &ExpConfig) -> Table {
         let truth = d.mean();
         let var = d.variance();
         let m = master.wrapping_add(si as u64 * 131);
-        let mut buckets = Vec::new();
-        let mean_stats = run_trials(cfg.trials, m, truth, |rng| {
+        // Each trial returns (estimate, bucket) so the per-trial bucket
+        // diagnostic is collected by index, not by side effect — the
+        // closure stays `Fn + Sync` for the parallel engine.
+        let outcomes = trial_map(cfg.trials, m, 0, |_t, rng| {
             let data = d.sample_vec(rng, n);
-            estimate_mean(rng, &data, e, 0.1).map(|r| {
-                buckets.push(r.bucket);
-                r.estimate
-            })
+            estimate_mean(rng, &data, e, 0.1).map(|r| (r.estimate, r.bucket))
         });
+        let mut errors = Vec::with_capacity(cfg.trials);
+        let mut buckets = Vec::with_capacity(cfg.trials);
+        let mut failures = 0usize;
+        for outcome in outcomes {
+            match outcome {
+                Ok((est, bucket)) => {
+                    errors.push((est - truth).abs());
+                    buckets.push(bucket);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        let mean_stats = summarize(errors, cfg.trials, failures);
         let var_stats = run_trials(cfg.trials, m ^ 1, var, |rng| {
             let data = d.sample_vec(rng, n);
             updp_statistical::estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)

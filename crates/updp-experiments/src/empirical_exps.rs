@@ -5,9 +5,8 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::fmt_err;
+use crate::trial::{fmt_err, trial_map};
 use updp_core::privacy::Epsilon;
-use updp_core::rng::{child_seed, seeded};
 use updp_empirical::{
     infinite_domain_mean, infinite_domain_quantile, infinite_domain_radius, infinite_domain_range,
     rank_error, PackingFamily, SortedInts,
@@ -54,15 +53,20 @@ pub fn radius(cfg: &ExpConfig) -> Table {
         let data = spread_dataset(n, rad);
         for (ei, &e) in [0.5f64, 2.0].iter().enumerate() {
             let epsilon = eps(e);
-            let mut ratios = Vec::new();
-            let mut outside = Vec::new();
-            for trial in 0..cfg.trials {
-                let seed = child_seed(master, (wi * 100 + ei * 10) as u64 * 1000 + trial as u64);
-                let mut rng = seeded(seed);
-                let r = infinite_domain_radius(&mut rng, &data, epsilon, 0.1);
-                ratios.push(r as f64 / rad as f64);
-                outside.push((n - data.count_within_radius(r)) as f64);
-            }
+            let (ratios, outside): (Vec<f64>, Vec<f64>) = trial_map(
+                cfg.trials,
+                master,
+                (wi * 100 + ei * 10) as u64 * 1000,
+                |_t, rng| {
+                    let r = infinite_domain_radius(rng, &data, epsilon, 0.1);
+                    (
+                        r as f64 / rad as f64,
+                        (n - data.count_within_radius(r)) as f64,
+                    )
+                },
+            )
+            .into_iter()
+            .unzip();
             let max_ratio = ratios.iter().cloned().fold(0.0, f64::max);
             let theory = (1.0 / e) * ((log2rad as f64) * std::f64::consts::LN_2).ln();
             t.push_row(vec![
@@ -101,14 +105,16 @@ pub fn range(cfg: &ExpConfig) -> Table {
             .map(|i| loc + (gamma as i128 * i as i128 / (n - 1) as i128) as i64)
             .collect();
         let data = SortedInts::new(values).unwrap();
-        let mut ratios = Vec::new();
-        let mut clipped = Vec::new();
-        for trial in 0..cfg.trials {
-            let mut rng = seeded(child_seed(master, si as u64 * 1000 + trial as u64));
-            let r = infinite_domain_range(&mut rng, &data, eps(1.0), 0.1).unwrap();
-            ratios.push(r.width() as f64 / gamma as f64);
-            clipped.push((n - data.count_in(r.lo, r.hi)) as f64);
-        }
+        let (ratios, clipped): (Vec<f64>, Vec<f64>) =
+            trial_map(cfg.trials, master, si as u64 * 1000, |_t, rng| {
+                let r = infinite_domain_range(rng, &data, eps(1.0), 0.1).unwrap();
+                (
+                    r.width() as f64 / gamma as f64,
+                    (n - data.count_in(r.lo, r.hi)) as f64,
+                )
+            })
+            .into_iter()
+            .unzip();
         let ok = ratios.iter().filter(|&&x| x <= 4.0).count() as f64 / ratios.len() as f64;
         t.push_row(vec![
             format!("{loc:e}"),
@@ -148,12 +154,10 @@ pub fn emp_mean(cfg: &ExpConfig) -> Table {
         values.extend(vec![gamma; n - n / 2]);
         let data = SortedInts::new(values).unwrap();
         let truth = data.mean();
-        let mut errs = Vec::new();
-        for trial in 0..cfg.trials {
-            let mut rng = seeded(child_seed(master, gi as u64 * 1000 + trial as u64));
-            let r = infinite_domain_mean(&mut rng, &data, e, 0.1).unwrap();
-            errs.push((r.estimate - truth).abs());
-        }
+        let errs = trial_map(cfg.trials, master, gi as u64 * 1000, |_t, rng| {
+            let r = infinite_domain_mean(rng, &data, e, 0.1).unwrap();
+            (r.estimate - truth).abs()
+        });
         let med = median(errs);
         let ratio = med * e.get() * n as f64 / gamma as f64;
         let lg = (log2gamma as f64) * std::f64::consts::LN_2;
@@ -201,15 +205,15 @@ pub fn packing(cfg: &ExpConfig) -> Table {
             let data = family.dataset(i).unwrap();
             let truth = family.true_mean(i);
             let gamma = data.width().max(1) as f64;
-            let mut errs = Vec::new();
-            for trial in 0..cfg.trials {
-                let mut rng = seeded(child_seed(
-                    master,
-                    (ni * 100 + i as usize) as u64 * 1000 + trial as u64,
-                ));
-                let r = infinite_domain_mean(&mut rng, &data, e, 0.1).unwrap();
-                errs.push((r.estimate - truth).abs());
-            }
+            let errs = trial_map(
+                cfg.trials,
+                master,
+                (ni * 100 + i as usize) as u64 * 1000,
+                |_t, rng| {
+                    let r = infinite_domain_mean(rng, &data, e, 0.1).unwrap();
+                    (r.estimate - truth).abs()
+                },
+            );
             let ratio = median(errs) * e.get() * n as f64 / gamma;
             worst = worst.max(ratio);
         }
@@ -250,18 +254,21 @@ pub fn emp_quantile(cfg: &ExpConfig) -> Table {
         let data = spread_dataset(n, gamma / 2);
         for (ti, &frac) in [0.25f64, 0.5, 0.9].iter().enumerate() {
             let tau = ((n as f64 * frac) as usize).max(1);
-            let mut errs = Vec::new();
-            for trial in 0..cfg.trials {
-                let mut rng = seeded(child_seed(
-                    master,
-                    (gi * 10 + ti) as u64 * 1000 + trial as u64,
-                ));
-                let r = infinite_domain_quantile(&mut rng, &data, tau, e, 0.1).unwrap();
-                errs.push(rank_error(&data, tau, r.estimate) as f64);
-            }
+            let mut errs = trial_map(
+                cfg.trials,
+                master,
+                (gi * 10 + ti) as u64 * 1000,
+                |_t, rng| {
+                    let r = infinite_domain_quantile(rng, &data, tau, e, 0.1).unwrap();
+                    rank_error(&data, tau, r.estimate) as f64
+                },
+            );
             errs.sort_by(f64::total_cmp);
             let med = errs[errs.len() / 2];
-            let p90 = errs[(errs.len() as f64 * 0.9) as usize - 1];
+            // saturating_sub keeps --trials 1 from wrapping to
+            // usize::MAX while picking the same index as the historical
+            // `- 1` for every len ≥ 2.
+            let p90 = errs[((errs.len() as f64 * 0.9) as usize).saturating_sub(1)];
             let theory = (1.0 / e.get()) * (log2gamma as f64) * std::f64::consts::LN_2;
             t.push_row(vec![
                 format!("2^{log2gamma}"),

@@ -4,10 +4,9 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::{fmt_err, run_trials};
+use crate::trial::{fmt_err, run_trials, trial_map};
 use updp_baselines::{dl09_iqr, sample_iqr};
 use updp_core::privacy::{Delta, Epsilon};
-use updp_core::rng::{child_seed, seeded};
 use updp_dist::{Cauchy, ContinuousDistribution, Gaussian, GaussianMixture, LogNormal, Uniform};
 use updp_statistical::{estimate_iqr, estimate_iqr_lower_bound};
 
@@ -59,17 +58,11 @@ pub fn iqr_lb(cfg: &ExpConfig) -> Table {
         let d = dist.as_ref();
         let phi4 = d.phi(1.0 / 16.0) / 4.0;
         let iqr = d.iqr();
-        let mut values = Vec::new();
-        let mut in_bounds = 0usize;
-        for trial in 0..cfg.trials {
-            let mut rng = seeded(child_seed(master, di as u64 * 1000 + trial as u64));
-            let data = d.sample_vec(&mut rng, n);
-            let lb = estimate_iqr_lower_bound(&mut rng, &data, eps(1.0), 0.1).unwrap();
-            if lb >= phi4 && lb <= iqr {
-                in_bounds += 1;
-            }
-            values.push(lb);
-        }
+        let mut values = trial_map(cfg.trials, master, di as u64 * 1000, |_t, rng| {
+            let data = d.sample_vec(rng, n);
+            estimate_iqr_lower_bound(rng, &data, eps(1.0), 0.1).unwrap()
+        });
+        let in_bounds = values.iter().filter(|&&lb| lb >= phi4 && lb <= iqr).count();
         values.sort_by(f64::total_cmp);
         t.push_row(vec![
             label.clone(),

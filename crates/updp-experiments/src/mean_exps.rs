@@ -19,10 +19,10 @@ fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
 }
 
-fn stats_for<D, F>(cfg: &ExpConfig, dist: &D, n: usize, master: u64, mut est: F) -> ErrorStats
+fn stats_for<D, F>(cfg: &ExpConfig, dist: &D, n: usize, master: u64, est: F) -> ErrorStats
 where
     D: ContinuousDistribution,
-    F: FnMut(&mut rand::rngs::StdRng, &[f64]) -> updp_core::error::Result<f64>,
+    F: Fn(&mut rand::rngs::StdRng, &[f64]) -> updp_core::error::Result<f64> + Sync,
 {
     let truth = dist.mean();
     run_trials(cfg.trials, master, truth, |rng| {

@@ -6,9 +6,8 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::fmt_err;
+use crate::trial::{fmt_err, trial_map};
 use updp_core::privacy::Epsilon;
-use updp_core::rng::{child_seed, seeded};
 use updp_dist::{ContinuousDistribution, Gaussian};
 use updp_statistical::multivariate::{estimate_mean_multivariate, l2_distance};
 
@@ -41,32 +40,32 @@ pub fn multi_mean(cfg: &ExpConfig) -> Table {
             .map(|j| Gaussian::new((j as f64) * 100.0, 10f64.powi((j % 3) as i32 - 1)).unwrap())
             .collect();
         let truth: Vec<f64> = dists.iter().map(|g| g.mu()).collect();
-        let mut l2s = Vec::new();
-        let mut linfs = Vec::new();
-        let mut good_coords = 0usize;
-        let mut total_coords = 0usize;
-        for trial in 0..cfg.trials.min(24) {
-            let mut rng = seeded(child_seed(master, di as u64 * 1000 + trial as u64));
+        let per_trial = trial_map(cfg.trials.min(24), master, di as u64 * 1000, |_t, rng| {
             let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| dists.iter().map(|g| g.sample(&mut rng)).collect())
+                .map(|_| dists.iter().map(|g| g.sample(rng)).collect())
                 .collect();
-            let r = estimate_mean_multivariate(&mut rng, &rows, e, 0.1).unwrap();
-            l2s.push(l2_distance(&r.estimate, &truth));
+            let r = estimate_mean_multivariate(rng, &rows, e, 0.1).unwrap();
+            let l2 = l2_distance(&r.estimate, &truth);
             let linf = r
                 .estimate
                 .iter()
                 .zip(&truth)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
-            linfs.push(linf);
-            for (j, g) in dists.iter().enumerate() {
-                total_coords += 1;
-                let tol = 5.0 * g.sigma() * (d as f64) / (e.get() * (n as f64).sqrt());
-                if (r.estimate[j] - g.mu()).abs() < tol.max(5.0 * g.sigma() / (n as f64).sqrt()) {
-                    good_coords += 1;
-                }
-            }
-        }
+            let good = dists
+                .iter()
+                .enumerate()
+                .filter(|(j, g)| {
+                    let tol = 5.0 * g.sigma() * (d as f64) / (e.get() * (n as f64).sqrt());
+                    (r.estimate[*j] - g.mu()).abs() < tol.max(5.0 * g.sigma() / (n as f64).sqrt())
+                })
+                .count();
+            (l2, linf, good)
+        });
+        let mut l2s: Vec<f64> = per_trial.iter().map(|&(l2, _, _)| l2).collect();
+        let mut linfs: Vec<f64> = per_trial.iter().map(|&(_, linf, _)| linf).collect();
+        let good_coords: usize = per_trial.iter().map(|&(_, _, g)| g).sum();
+        let total_coords = per_trial.len() * d;
         l2s.sort_by(f64::total_cmp);
         linfs.sort_by(f64::total_cmp);
         let med_l2 = l2s[l2s.len() / 2];

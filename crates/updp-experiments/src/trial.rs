@@ -5,9 +5,18 @@
 //! *90th-percentile* absolute error over many trials — the mean would be
 //! polluted by the designed-in failure probability β. Failures
 //! (mechanism refusals, e.g. [DL09]'s PTR) are counted, not averaged in.
+//!
+//! # Parallel execution (DESIGN.md §5)
+//!
+//! Trials run on `updp_core::parallel`'s deterministic work-stealing
+//! map: trial `t` is a pure function of `(master, t)` under §1.1's
+//! child-seed scheme, and results are collected **by trial index**, so
+//! [`ErrorStats`] is bit-identical at any thread count (`UPDP_THREADS`
+//! contract) and identical to the historical serial loop.
 
 use serde::Serialize;
 use updp_core::error::Result;
+use updp_core::parallel::par_map_indexed;
 use updp_core::rng::{child_seed, seeded};
 
 /// Robust summary of absolute errors over repeated trials.
@@ -33,21 +42,45 @@ impl ErrorStats {
     }
 }
 
+/// Runs `trials` independent executions of `f` — in parallel, collected
+/// by trial index — where trial `t` receives a fresh RNG seeded with
+/// `child_seed(master, offset + t)`, and returns the per-trial results
+/// in trial order.
+///
+/// This is the engine every experiment loop routes through: the
+/// `offset` parameter preserves the historical per-cell seed layouts
+/// (e.g. `di·1000 + trial`) so outputs match the former hand-rolled
+/// serial loops bit for bit.
+pub fn trial_map<T, F>(trials: usize, master: u64, offset: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut rand::rngs::StdRng) -> T + Sync,
+{
+    par_map_indexed(trials, |t| {
+        let mut rng = seeded(child_seed(master, offset + t as u64));
+        f(t as u64, &mut rng)
+    })
+}
+
 /// Runs `trials` independent executions of `f` (each with a fresh child
 /// RNG of `master`), comparing against `truth`, and summarizes the
 /// absolute errors.
 ///
-/// `f` returns the *estimate*; `Err` counts as a failure.
-pub fn run_trials<F>(trials: usize, master: u64, truth: f64, mut f: F) -> ErrorStats
+/// `f` returns the *estimate*; `Err` counts as a failure. Trials run in
+/// parallel (see [`trial_map`]); the returned [`ErrorStats`] is
+/// bit-identical at any `UPDP_THREADS` setting.
+pub fn run_trials<F>(trials: usize, master: u64, truth: f64, f: F) -> ErrorStats
 where
-    F: FnMut(&mut rand::rngs::StdRng) -> Result<f64>,
+    F: Fn(&mut rand::rngs::StdRng) -> Result<f64> + Sync,
 {
+    let outcomes = trial_map(trials, master, 0, |_t, rng| {
+        f(rng).map(|est| (est - truth).abs())
+    });
     let mut errors: Vec<f64> = Vec::with_capacity(trials);
     let mut failures = 0usize;
-    for t in 0..trials {
-        let mut rng = seeded(child_seed(master, t as u64));
-        match f(&mut rng) {
-            Ok(est) => errors.push((est - truth).abs()),
+    for outcome in outcomes {
+        match outcome {
+            Ok(err) => errors.push(err),
             Err(_) => failures += 1,
         }
     }
@@ -55,6 +88,12 @@ where
 }
 
 /// Summarizes a raw error vector.
+///
+/// The error vector is only ever queried at two order statistics
+/// (median and p90), so those are picked with `select_nth_unstable_by`
+/// — `O(n)` instead of a full `O(n log n)` sort. The mean is summed in
+/// the caller's (trial) order, before any reordering, keeping it a pure
+/// function of the input vector.
 pub fn summarize(mut errors: Vec<f64>, trials: usize, failures: usize) -> ErrorStats {
     if errors.is_empty() {
         return ErrorStats {
@@ -65,12 +104,21 @@ pub fn summarize(mut errors: Vec<f64>, trials: usize, failures: usize) -> ErrorS
             failures,
         };
     }
-    errors.sort_by(f64::total_cmp);
-    let pick = |q: f64| errors[((errors.len() as f64 - 1.0) * q).round() as usize];
+    let len = errors.len();
+    let mean = errors.iter().sum::<f64>() / len as f64;
+    let rank = |q: f64| ((len as f64 - 1.0) * q).round() as usize;
+    let (i50, i90) = (rank(0.5), rank(0.9));
+    let (below_p90, p90_ref, _) = errors.select_nth_unstable_by(i90, f64::total_cmp);
+    let p90 = *p90_ref;
+    let median = if i50 == i90 {
+        p90
+    } else {
+        *below_p90.select_nth_unstable_by(i50, f64::total_cmp).1
+    };
     ErrorStats {
-        median: pick(0.5),
-        p90: pick(0.9),
-        mean: errors.iter().sum::<f64>() / errors.len() as f64,
+        median,
+        p90,
+        mean,
         trials,
         failures,
     }
@@ -117,17 +165,67 @@ mod tests {
 
     #[test]
     fn run_trials_counts_failures() {
-        let mut flip = false;
-        let s = run_trials(10, 7, 0.0, |_rng| {
-            flip = !flip;
-            if flip {
+        // Failures determined per trial index (via trial_map, which
+        // passes it), half the trials fail.
+        let outcomes = trial_map(10, 7, 0, |t, _rng| -> Result<f64> {
+            if t % 2 == 0 {
                 Ok(1.0)
             } else {
                 Err(updp_core::UpdpError::EmptyDataset)
             }
         });
+        let mut errors = Vec::new();
+        let mut failures = 0;
+        for o in outcomes {
+            match o {
+                Ok(v) => errors.push(v),
+                Err(_) => failures += 1,
+            }
+        }
+        let s = summarize(errors, 10, failures);
         assert_eq!(s.failures, 5);
         assert_eq!(s.median, 1.0);
+
+        // And through run_trials itself: an always-failing closure.
+        let s = run_trials(10, 7, 0.0, |_rng| -> Result<f64> {
+            Err(updp_core::UpdpError::EmptyDataset)
+        });
+        assert_eq!(s.failures, 10);
+        assert!(s.median.is_nan());
+    }
+
+    #[test]
+    fn trial_map_results_are_in_trial_order_at_any_thread_count() {
+        use rand::Rng;
+        let f = |t: u64, rng: &mut rand::rngs::StdRng| (t, rng.gen::<u64>());
+        let serial: Vec<(u64, u64)> = (0..33)
+            .map(|t| {
+                let mut rng = seeded(child_seed(9, 100 + t));
+                f(t, &mut rng)
+            })
+            .collect();
+        let par = trial_map(33, 9, 100, f);
+        assert_eq!(par, serial);
+        for (t, (idx, _)) in par.iter().enumerate() {
+            assert_eq!(*idx, t as u64);
+        }
+    }
+
+    #[test]
+    fn summarize_matches_full_sort_reference() {
+        use rand::Rng;
+        let mut rng = seeded(5);
+        for len in [1usize, 2, 3, 7, 60, 101] {
+            let errors: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 10.0).collect();
+            let s = summarize(errors.clone(), len, 0);
+            let mut sorted = errors.clone();
+            sorted.sort_by(f64::total_cmp);
+            let pick = |q: f64| sorted[((len as f64 - 1.0) * q).round() as usize];
+            assert_eq!(s.median, pick(0.5), "median at len {len}");
+            assert_eq!(s.p90, pick(0.9), "p90 at len {len}");
+            let mean = errors.iter().sum::<f64>() / len as f64;
+            assert_eq!(s.mean, mean, "mean at len {len}");
+        }
     }
 
     #[test]

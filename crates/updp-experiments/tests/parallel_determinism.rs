@@ -1,0 +1,92 @@
+//! Parallel-vs-serial determinism of the trial engine (DESIGN.md §5).
+//!
+//! The contract under test: `UPDP_THREADS` changes wall time only —
+//! every experiment's output (all `ErrorStats`-derived cells) is
+//! byte-identical at any thread count, because each trial is a pure
+//! function of `(master, trial_index)` and results are collected by
+//! index.
+
+use std::sync::Mutex;
+use updp_experiments::{registry, run_trials, ExpConfig};
+
+/// Serializes the tests in this binary: they mutate the process-wide
+/// `UPDP_THREADS` variable.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(k: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(updp_core::parallel::THREADS_ENV, k);
+    let out = f();
+    std::env::remove_var(updp_core::parallel::THREADS_ENV);
+    out
+}
+
+/// Every experiment id must render byte-identically with 1 and 8
+/// worker threads.
+#[test]
+fn every_experiment_is_thread_count_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let cfg = ExpConfig {
+        trials: 3,
+        quick: true,
+        ..ExpConfig::default()
+    };
+    for (id, _, f) in registry() {
+        let serial = with_threads("1", || f(&cfg).render());
+        let parallel = with_threads("8", || f(&cfg).render());
+        assert_eq!(
+            serial, parallel,
+            "experiment `{id}` output depends on the thread count"
+        );
+    }
+}
+
+/// Golden pin of one parallel `run_trials` summary: exact bit patterns,
+/// so any change to the child-seed scheme, the RNG, the trial engine's
+/// collection order, or the summarize order statistics fails loudly and
+/// must be accompanied by a conscious regeneration of stored outputs.
+#[test]
+fn golden_parallel_run_trials() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let stats = with_threads("8", || {
+        run_trials(64, 0xDECA_FBAD, 0.5, |rng| {
+            use rand::Rng;
+            Ok(rng.gen::<f64>())
+        })
+    });
+    assert_eq!(stats.trials, 64);
+    assert_eq!(stats.failures, 0);
+    assert_eq!(
+        stats.median.to_bits(),
+        GOLDEN_MEDIAN_BITS,
+        "median {} drifted",
+        stats.median
+    );
+    assert_eq!(
+        stats.p90.to_bits(),
+        GOLDEN_P90_BITS,
+        "p90 {} drifted",
+        stats.p90
+    );
+    assert_eq!(
+        stats.mean.to_bits(),
+        GOLDEN_MEAN_BITS,
+        "mean {} drifted",
+        stats.mean
+    );
+    // And the identical bits must come back at 1 and 3 threads.
+    for k in ["1", "3"] {
+        let again = with_threads(k, || {
+            run_trials(64, 0xDECA_FBAD, 0.5, |rng| {
+                use rand::Rng;
+                Ok(rng.gen::<f64>())
+            })
+        });
+        assert_eq!(again, stats, "UPDP_THREADS={k} changed the summary");
+    }
+}
+
+// Golden values regenerated 2026-07 for the xoshiro256++-backed StdRng
+// (vendor/rand); median ≈ 0.23284, p90 ≈ 0.41840, mean ≈ 0.23062.
+const GOLDEN_MEDIAN_BITS: u64 = 0x3FCD_CD8C_ABEE_F760;
+const GOLDEN_P90_BITS: u64 = 0x3FDA_C70A_EA13_90BE;
+const GOLDEN_MEAN_BITS: u64 = 0x3FCD_84F8_DD46_1AB5;

@@ -30,11 +30,12 @@ pub mod iqr_lower_bound;
 pub mod mean;
 pub mod multivariate;
 pub mod quantile;
+mod scratch;
 pub mod variance;
 
 pub use estimator::{AllEstimates, UniversalEstimator, DEFAULT_BETA};
 pub use iqr::{estimate_iqr, IqrEstimate};
-pub use iqr_lower_bound::estimate_iqr_lower_bound;
+pub use iqr_lower_bound::{estimate_iqr_lower_bound, pair_gaps, Gaps};
 pub use mean::{
     estimate_mean, estimate_mean_with_bucket, estimate_mean_with_subsample, MeanEstimate,
 };

@@ -22,9 +22,10 @@
 //! estimators and removing assumptions A1/A2 for the first time.
 
 use crate::iqr_lower_bound::estimate_iqr_lower_bound;
+use crate::scratch::with_subsample;
 use rand::Rng;
 use updp_core::amplification::paper_inner_epsilon;
-use updp_core::clipped_mean::{clipped_mean, count_outside};
+use updp_core::clipped_mean::clipped_mean_with_outside;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::laplace::sample_laplace;
 use updp_core::privacy::Epsilon;
@@ -77,17 +78,19 @@ pub fn estimate_mean<R: Rng + ?Sized>(
     let bucket = estimate_iqr_lower_bound(rng, data, epsilon.scale(1.0 / 8.0), beta / 9.0)?;
 
     // Stage 2: subsample of m = εn values (at least enough for the range
-    // finder's own pairing plumbing, at most n).
+    // finder's own pairing plumbing, at most n), drawn into the reusable
+    // per-thread scratch buffer.
     let m = ((epsilon.get() * n as f64).ceil() as usize).clamp(MIN_N.min(n), n);
-    let idx = rand::seq::index::sample(rng, n, m);
-    let subsample: Vec<f64> = idx.iter().map(|i| data[i]).collect();
 
     // Stage 3 (amplified to 3ε/4): range on the subsample.
     let inner = paper_inner_epsilon(epsilon);
-    let range = real_range(rng, &subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)?;
+    let range = with_subsample(rng, data, m, |rng, subsample| {
+        real_range(rng, subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)
+    })?;
 
-    // Stage 4 (ε/8): clipped mean of the FULL data over R̃(D′).
-    let mean = clipped_mean(data, range.lo, range.hi)?;
+    // Stage 4 (ε/8): clipped mean of the FULL data over R̃(D′), fused
+    // with the clipping-bias count — one pass over the data.
+    let (mean, clipped) = clipped_mean_with_outside(data, range.lo, range.hi)?;
     let width = range.width();
     let estimate = if width > 0.0 {
         mean + sample_laplace(rng, 8.0 * width / (epsilon.get() * n as f64))
@@ -100,7 +103,7 @@ pub fn estimate_mean<R: Rng + ?Sized>(
         bucket,
         range,
         subsample: m,
-        clipped: count_outside(data, range.lo, range.hi),
+        clipped,
     })
 }
 
@@ -132,11 +135,11 @@ pub fn estimate_mean_with_bucket<R: Rng + ?Sized>(
         });
     }
     let m = ((epsilon.get() * n as f64).ceil() as usize).clamp(MIN_N.min(n), n);
-    let idx = rand::seq::index::sample(rng, n, m);
-    let subsample: Vec<f64> = idx.iter().map(|i| data[i]).collect();
     let inner = paper_inner_epsilon(epsilon);
-    let range = real_range(rng, &subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)?;
-    let mean = clipped_mean(data, range.lo, range.hi)?;
+    let range = with_subsample(rng, data, m, |rng, subsample| {
+        real_range(rng, subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)
+    })?;
+    let (mean, clipped) = clipped_mean_with_outside(data, range.lo, range.hi)?;
     let width = range.width();
     let estimate = if width > 0.0 {
         mean + sample_laplace(rng, 8.0 * width / (epsilon.get() * n as f64))
@@ -148,7 +151,7 @@ pub fn estimate_mean_with_bucket<R: Rng + ?Sized>(
         bucket,
         range,
         subsample: m,
-        clipped: count_outside(data, range.lo, range.hi),
+        clipped,
     })
 }
 
@@ -172,11 +175,11 @@ pub fn estimate_mean_with_subsample<R: Rng + ?Sized>(
         });
     }
     let bucket = estimate_iqr_lower_bound(rng, data, epsilon.scale(1.0 / 8.0), beta / 9.0)?;
-    let idx = rand::seq::index::sample(rng, n, m);
-    let subsample: Vec<f64> = idx.iter().map(|i| data[i]).collect();
     let inner = paper_inner_epsilon(epsilon);
-    let range = real_range(rng, &subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)?;
-    let mean = clipped_mean(data, range.lo, range.hi)?;
+    let range = with_subsample(rng, data, m, |rng, subsample| {
+        real_range(rng, subsample, bucket, inner.scale(3.0 / 4.0), beta / 9.0)
+    })?;
+    let (mean, clipped) = clipped_mean_with_outside(data, range.lo, range.hi)?;
     let width = range.width();
     let estimate = if width > 0.0 {
         mean + sample_laplace(rng, 8.0 * width / (epsilon.get() * n as f64))
@@ -188,7 +191,7 @@ pub fn estimate_mean_with_subsample<R: Rng + ?Sized>(
         bucket,
         range,
         subsample: m,
-        clipped: count_outside(data, range.lo, range.hi),
+        clipped,
     })
 }
 

@@ -1,0 +1,106 @@
+//! Reusable per-thread scratch buffers for the subsampling hot path.
+//!
+//! Algorithms 8 and 9 draw a subsample of `m = εn` values without
+//! replacement on *every* estimate. The vendored `rand` shim's
+//! `seq::index::sample` allocates a fresh `Vec<usize>` index pool of
+//! length `n` plus a fresh `Vec<f64>` for the values per call — two
+//! `O(n)` heap allocations per trial that dominate allocator traffic in
+//! many-trial experiments. This module keeps both buffers in
+//! thread-local scratch (safe under `updp_core::parallel`, which gives
+//! each worker thread its own locals) and replays **exactly** the same
+//! partial Fisher–Yates RNG draw sequence as
+//! `rand::seq::index::sample`, so subsamples — and therefore every
+//! downstream estimate — are bit-identical to the allocating path.
+
+use rand::Rng;
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<(Vec<usize>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Draws `m` values of `data` without replacement into a reusable
+/// thread-local buffer and hands the subsample slice (in draw order,
+/// matching `rand::seq::index::sample` exactly) to `f` together with
+/// the generator.
+///
+/// Non-reentrant: `f` must not itself call `with_subsample` (the
+/// estimator call graph never does; the thread-local panics on
+/// re-entrant borrow rather than corrupting the sample).
+///
+/// Panics if `m > data.len()`, matching `rand::seq::index::sample`.
+pub(crate) fn with_subsample<R, T, F>(rng: &mut R, data: &[f64], m: usize, f: F) -> T
+where
+    R: Rng + ?Sized,
+    F: FnOnce(&mut R, &[f64]) -> T,
+{
+    let n = data.len();
+    assert!(m <= n, "cannot sample {m} indices from 0..{n}");
+    SCRATCH.with(|cell| {
+        let (pool, values) = &mut *cell.borrow_mut();
+        // Refill the index pool in place: O(n) writes, no allocation
+        // once the high-water capacity is reached.
+        pool.clear();
+        pool.extend(0..n);
+        // Partial Fisher–Yates with the identical draw sequence
+        // (`gen_range(i..n)` per position) as the vendored
+        // `seq::index::sample`.
+        for i in 0..m {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        values.clear();
+        values.extend(pool[..m].iter().map(|&i| data[i]));
+        f(rng, values)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updp_core::rng::seeded;
+
+    #[test]
+    fn matches_vendored_index_sample_bitwise() {
+        let data: Vec<f64> = (0..257).map(|i| (i as f64).sin()).collect();
+        for (m, seed) in [(1usize, 1u64), (16, 2), (100, 3), (257, 4)] {
+            let mut a = seeded(seed);
+            let idx = rand::seq::index::sample(&mut a, data.len(), m);
+            let reference: Vec<f64> = idx.iter().map(|i| data[i]).collect();
+            let after_a: u64 = {
+                use rand::Rng;
+                a.gen()
+            };
+
+            let mut b = seeded(seed);
+            let (got, after_b) = with_subsample(&mut b, &data, m, |rng, sub| {
+                use rand::Rng;
+                (sub.to_vec(), rng.gen::<u64>())
+            });
+            assert_eq!(got, reference, "m = {m}");
+            // The generator must be left in the identical state.
+            assert_eq!(after_a, after_b, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn buffer_is_reused_across_calls() {
+        let data: Vec<f64> = (0..64).map(f64::from).collect();
+        let mut rng = seeded(9);
+        let first = with_subsample(&mut rng, &data, 8, |_, sub| sub.to_vec());
+        let second = with_subsample(&mut rng, &data, 8, |_, sub| sub.to_vec());
+        assert_eq!(first.len(), 8);
+        assert_eq!(second.len(), 8);
+        // Distinct draws (the RNG advanced) but both valid subsamples.
+        assert!(first.iter().all(|v| data.contains(v)));
+        assert!(second.iter().all(|v| data.contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics_like_upstream() {
+        let mut rng = seeded(10);
+        with_subsample(&mut rng, &[1.0, 2.0], 3, |_, _| ());
+    }
+}

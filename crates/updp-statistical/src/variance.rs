@@ -14,9 +14,10 @@
 //! distributions.
 
 use crate::iqr_lower_bound::estimate_iqr_lower_bound;
+use crate::scratch::with_subsample;
 use rand::Rng;
 use updp_core::amplification::paper_inner_epsilon;
-use updp_core::clipped_mean::{clipped_mean, count_outside};
+use updp_core::clipped_mean::clipped_mean_with_outside;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::laplace::sample_laplace;
 use updp_core::privacy::Epsilon;
@@ -90,27 +91,29 @@ pub fn estimate_variance<R: Rng + ?Sized>(
     };
     let n_prime = h.len();
 
-    // Stage 3: subsample εn′ products.
+    // Stage 3: subsample εn′ products into the reusable per-thread
+    // scratch buffer.
     let m = ((epsilon.get() * n_prime as f64).ceil() as usize).clamp(8.min(n_prime), n_prime);
-    let idx = rand::seq::index::sample(rng, n_prime, m);
-    let subsample: Vec<f64> = idx.iter().map(|i| h[i]).collect();
 
     // Stage 4 (amplified to 3ε/4): radius of the subsample with bucket
     // IQR̲² — only the width matters because Z is zero-anchored.
     let inner = paper_inner_epsilon(epsilon);
-    let radius = real_radius(
-        rng,
-        &subsample,
-        // The squared bucket can overflow for ~1e155+-scale data; clamp
-        // into the finite positive range.
-        (bucket * bucket).clamp(f64::MIN_POSITIVE, f64::MAX),
-        inner.scale(3.0 / 4.0),
-        beta / 7.0,
-    )?;
+    let radius = with_subsample(rng, &h, m, |rng, subsample| {
+        real_radius(
+            rng,
+            subsample,
+            // The squared bucket can overflow for ~1e155+-scale data;
+            // clamp into the finite positive range.
+            (bucket * bucket).clamp(f64::MIN_POSITIVE, f64::MAX),
+            inner.scale(3.0 / 4.0),
+            beta / 7.0,
+        )
+    })?;
 
     // Stage 5 (ε/4 via the 8·rad/(εn) = 4·rad/(εn′) scale): clipped mean
-    // of ALL products over [0, r̃ad], halved since E[Z] = 2σ².
-    let mean = clipped_mean(&h, 0.0, radius.max(0.0))?;
+    // of ALL products over [0, r̃ad] — fused with the clipping-bias
+    // count into one pass — halved since E[Z] = 2σ².
+    let (mean, clipped) = clipped_mean_with_outside(&h, 0.0, radius.max(0.0))?;
     let noisy = if radius > 0.0 {
         mean + sample_laplace(rng, 8.0 * radius / (epsilon.get() * n as f64))
     } else {
@@ -121,7 +124,7 @@ pub fn estimate_variance<R: Rng + ?Sized>(
         bucket,
         radius,
         pairs: n_prime,
-        clipped: count_outside(&h, 0.0, radius.max(0.0)),
+        clipped,
     })
 }
 
