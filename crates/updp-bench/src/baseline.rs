@@ -7,11 +7,14 @@
 //! push (`bench_baseline --check`), keeping the binary and the schema
 //! from rotting.
 //!
-//! The JSON writer/parser here is deliberately first-party and tiny:
-//! the build environment has no crates.io access and the vendored
-//! `serde` shim does not include a JSON backend. Numbers are emitted
-//! with Rust's shortest-round-trip `Display` for `f64`, so
+//! The JSON codec itself lives in [`updp_core::json`] — it started
+//! here and was promoted so `updp-serve` and this report share one
+//! implementation (the crate root re-exports it as
+//! [`crate::json`]). Numbers are emitted with Rust's
+//! shortest-round-trip `Display` for `f64`, so
 //! `from_json(to_json(r)) == r` exactly.
+
+use updp_core::json::JsonValue;
 
 /// One macro-workload timing row.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,43 +60,42 @@ pub struct BaselineReport {
 /// The current schema tag.
 pub const SCHEMA: &str = "updp-bench-baseline/v1";
 
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 impl BaselineReport {
     /// Serializes to pretty-printed JSON (stable field order).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"schema\": \"{}\",\n", esc(&self.schema)));
-        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
-        out.push_str("  \"micro\": [\n");
-        for (i, row) in self.micro.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"n\": {}, \"ms\": {}}}{}\n",
-                esc(&row.workload),
-                row.n,
-                row.ms,
-                if i + 1 < self.micro.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ],\n");
+        let micro = self
+            .micro
+            .iter()
+            .map(|row| {
+                JsonValue::object(vec![
+                    ("workload", row.workload.as_str().into()),
+                    ("n", row.n.into()),
+                    ("ms", row.ms.into()),
+                ])
+            })
+            .collect();
         let eq = &self.experiments_quick;
-        out.push_str(&format!(
-            "  \"experiments_quick\": {{\"serial_ms\": {}, \"parallel_ms\": {}, \"threads\": {}, \"speedup\": {}}},\n",
-            eq.serial_ms, eq.parallel_ms, eq.threads, eq.speedup
-        ));
-        out.push_str(&format!("  \"note\": \"{}\"\n", esc(&self.note)));
-        out.push_str("}\n");
+        let doc = JsonValue::object(vec![
+            ("schema", self.schema.as_str().into()),
+            ("host_threads", self.host_threads.into()),
+            ("micro", JsonValue::Array(micro)),
+            (
+                "experiments_quick",
+                JsonValue::object(vec![
+                    ("serial_ms", eq.serial_ms.into()),
+                    ("parallel_ms", eq.parallel_ms.into()),
+                    ("threads", eq.threads.into()),
+                    ("speedup", eq.speedup.into()),
+                ]),
+            ),
+            ("note", self.note.as_str().into()),
+        ]);
+        let mut out = doc.to_pretty();
+        out.push('\n');
         out
     }
 
     /// Parses a report previously produced by [`BaselineReport::to_json`].
-    ///
-    /// A minimal recursive-descent JSON reader (objects, arrays,
-    /// strings, numbers) — strict enough to reject truncated or
-    /// hand-mangled files, lenient about whitespace.
     pub fn from_json(input: &str) -> Result<Self, String> {
         let value = JsonValue::parse(input)?;
         let obj = value.as_object("top level")?;
@@ -102,14 +104,13 @@ impl BaselineReport {
             return Err(format!("unknown schema `{schema}`, expected `{SCHEMA}`"));
         }
         let micro = obj
-            .get("micro")?
-            .as_array("micro")?
+            .get_array("micro")?
             .iter()
             .map(|v| -> Result<MicroRow, String> {
                 let row = v.as_object("micro row")?;
                 Ok(MicroRow {
                     workload: row.get_str("workload")?,
-                    n: row.get_f64("n")? as usize,
+                    n: row.get_usize("n")?,
                     ms: row.get_f64("ms")?,
                 })
             })
@@ -119,210 +120,17 @@ impl BaselineReport {
             .as_object("experiments_quick")?;
         Ok(BaselineReport {
             schema,
-            host_threads: obj.get_f64("host_threads")? as usize,
+            host_threads: obj.get_usize("host_threads")?,
             micro,
             experiments_quick: ExperimentsQuick {
                 serial_ms: eq.get_f64("serial_ms")?,
                 parallel_ms: eq.get_f64("parallel_ms")?,
-                threads: eq.get_f64("threads")? as usize,
+                threads: eq.get_usize("threads")?,
                 speedup: eq.get_f64("speedup")?,
             },
             note: obj.get_str("note")?,
         })
     }
-}
-
-/// A parsed JSON value (only the shapes the baseline schema uses).
-enum JsonValue {
-    Object(Vec<(String, JsonValue)>),
-    Array(Vec<JsonValue>),
-    String(String),
-    Number(f64),
-}
-
-struct Object<'a>(&'a [(String, JsonValue)]);
-
-impl<'a> Object<'a> {
-    fn get(&self, key: &str) -> Result<&'a JsonValue, String> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing key `{key}`"))
-    }
-
-    fn get_str(&self, key: &str) -> Result<String, String> {
-        match self.get(key)? {
-            JsonValue::String(s) => Ok(s.clone()),
-            _ => Err(format!("key `{key}` is not a string")),
-        }
-    }
-
-    fn get_f64(&self, key: &str) -> Result<f64, String> {
-        match self.get(key)? {
-            JsonValue::Number(x) => Ok(*x),
-            _ => Err(format!("key `{key}` is not a number")),
-        }
-    }
-}
-
-impl JsonValue {
-    fn as_object(&self, what: &str) -> Result<Object<'_>, String> {
-        match self {
-            JsonValue::Object(fields) => Ok(Object(fields)),
-            _ => Err(format!("{what} is not an object")),
-        }
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
-        match self {
-            JsonValue::Array(items) => Ok(items),
-            _ => Err(format!("{what} is not an array")),
-        }
-    }
-
-    fn parse(input: &str) -> Result<JsonValue, String> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected `{}` at byte {} (found `{}`)",
-            c as char,
-            pos,
-            b.get(*pos).map(|&x| x as char).unwrap_or('∅')
-        ))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
-        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        other => Err(format!(
-            "unexpected `{}` at byte {}",
-            other.map(|&x| x as char).unwrap_or('∅'),
-            pos
-        )),
-    }
-}
-
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    expect(b, pos, b'{')?;
-    let mut fields = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(JsonValue::Object(fields));
-    }
-    loop {
-        skip_ws(b, pos);
-        let key = parse_string(b, pos)?;
-        expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
-        fields.push((key, value));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(JsonValue::Object(fields));
-            }
-            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-        }
-    }
-}
-
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    expect(b, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(JsonValue::Array(items));
-    }
-    loop {
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(JsonValue::Array(items));
-            }
-            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-        }
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    while *pos < b.len() {
-        match b[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    other => {
-                        return Err(format!(
-                            "unsupported escape `\\{}` at byte {}",
-                            other.map(|&x| x as char).unwrap_or('∅'),
-                            pos
-                        ))
-                    }
-                }
-                *pos += 1;
-            }
-            _ => {
-                // Multi-byte UTF-8 passes through unchanged.
-                let start = *pos;
-                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
-                    *pos += 1;
-                }
-                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
-            }
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(JsonValue::Number)
-        .map_err(|e| format!("bad number `{text}`: {e}"))
 }
 
 #[cfg(test)]
@@ -372,6 +180,19 @@ mod tests {
         report.experiments_quick.speedup = f64::MIN_POSITIVE;
         let back = BaselineReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parses_the_committed_report_format() {
+        // The pre-promotion writer emitted micro rows on single lines;
+        // the shared parser must keep reading that committed layout.
+        let legacy = "{\n  \"schema\": \"updp-bench-baseline/v1\",\n  \"host_threads\": 1,\n  \
+                      \"micro\": [\n    {\"workload\": \"estimate_mean\", \"n\": 10000, \"ms\": 1.5}\n  ],\n  \
+                      \"experiments_quick\": {\"serial_ms\": 10, \"parallel_ms\": 10, \"threads\": 1, \"speedup\": 1},\n  \
+                      \"note\": \"legacy layout\"\n}\n";
+        let report = BaselineReport::from_json(legacy).unwrap();
+        assert_eq!(report.micro.len(), 1);
+        assert_eq!(report.experiments_quick.threads, 1);
     }
 
     #[test]

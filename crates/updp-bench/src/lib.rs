@@ -4,6 +4,10 @@
 
 pub mod baseline;
 
+/// Re-export of the shared first-party JSON codec (promoted from this
+/// crate's `baseline` module into `updp_core::json`).
+pub use updp_core::json;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use updp_dist::{ContinuousDistribution, Gaussian, Pareto};

@@ -21,6 +21,8 @@
 //!   release (hardening extension);
 //! * [`rng`] — deterministic seeding utilities for reproducible
 //!   experiments;
+//! * [`json`] — the workspace's single first-party JSON writer/parser
+//!   (report schemas, the serving wire format, ledger snapshots);
 //! * [`parallel`] — deterministic parallel map for embarrassingly
 //!   parallel trial workloads (chunked work-stealing over
 //!   `std::thread::scope`, bit-identical to the serial loop at any
@@ -39,6 +41,7 @@ pub mod error;
 pub mod exponential;
 pub mod geometric;
 pub mod inverse_sensitivity;
+pub mod json;
 pub mod laplace;
 pub mod parallel;
 pub mod privacy;

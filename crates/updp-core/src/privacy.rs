@@ -136,6 +136,15 @@ impl PrivacyGuarantee {
     }
 }
 
+/// Absolute slack allowed when comparing accumulated ε spend against a
+/// total budget: repeated splitting (e.g. ten shares of `total/10`)
+/// need not sum to exactly `total` in floating point. Shared by
+/// [`BudgetAccountant`] and the serving ledger (`updp-serve`) so the
+/// overshoot rule has exactly one definition.
+pub fn budget_tolerance(total: f64) -> f64 {
+    1e-9 * total.max(1.0)
+}
+
 /// A simple sequential-composition budget accountant.
 ///
 /// Mechanisms that make several sub-calls (e.g. `EstimateMean`, which runs
@@ -165,9 +174,7 @@ impl BudgetAccountant {
     /// would exceed the remaining budget beyond floating-point tolerance.
     pub fn charge(&mut self, label: &'static str, share: Epsilon) -> Result<Epsilon> {
         let eps = share.get();
-        // Tolerate tiny floating-point overshoot from repeated splitting.
-        let tolerance = 1e-9 * self.total.max(1.0);
-        if self.spent + eps > self.total + tolerance {
+        if self.spent + eps > self.total + budget_tolerance(self.total) {
             return Err(UpdpError::BudgetExceeded {
                 requested: eps,
                 available: self.total - self.spent,

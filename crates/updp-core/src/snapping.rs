@@ -78,6 +78,14 @@ pub fn snapped_laplace_mechanism<R: Rng + ?Sized>(
     Ok(snap_to_grid(noisy.clamp(-bound, bound), lambda))
 }
 
+/// The snapping grid width `Λ`: the smallest power of two ≥ the noise
+/// scale `sensitivity/ε`. Every [`snapped_laplace_mechanism`] release
+/// is an exact multiple of `Λ`; serving layers expose it so clients
+/// (and tests) can verify grid membership.
+pub fn snapping_lambda(scale: f64) -> f64 {
+    next_power_of_two(scale)
+}
+
 /// Upper bound on the multiplicative ε inflation of the snapping
 /// mechanism for a given noise scale and clamp bound — the
 /// `(1 + 12·B·η)` factor of Mironov's Theorem 1 with machine epsilon
@@ -110,7 +118,8 @@ mod tests {
         let mut rng = seeded(1);
         let e = eps(0.5);
         let scale = 1.0 / 0.5;
-        let lambda = next_power_of_two(scale);
+        let lambda = snapping_lambda(scale);
+        assert_eq!(lambda, next_power_of_two(scale));
         for _ in 0..2_000 {
             let y = snapped_laplace_mechanism(&mut rng, 3.7, 1.0, e, 100.0).unwrap();
             assert!((-100.0..=100.0).contains(&y));

@@ -1,0 +1,200 @@
+//! `loadgen` — drives N concurrent connections against `updp-serve`
+//! and writes the `BENCH_serve.json` throughput/latency report.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…]
+//!         [--records N] [--out PATH] [--check]
+//! ```
+//!
+//! Without `--addr`, an in-process server is started on an ephemeral
+//! port (self-contained measurement). Each connection count `c` gets
+//! a fresh run: `c` threads, each with its own keep-alive connection
+//! and its own registered dataset (a huge ε budget, so the run is
+//! never starved), each issuing `--requests` hardened batch queries
+//! (mean + quantile(0.9) + iqr). Latency is per request, merged
+//! across connections; p50/p99 are nearest-rank.
+//!
+//! `--check` is the CI smoke mode (mirroring `bench_baseline
+//! --check`): tiny run, then an assertion that the report
+//! round-trips through the shared JSON codec. Nothing is written.
+
+use std::time::Instant;
+use updp_serve::client::{query_body, Connection};
+use updp_serve::report::{percentile_ms, LoadRun, ServeReport, SCHEMA};
+use updp_serve::{Ledger, Server};
+
+fn die(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2);
+}
+
+fn gaussian(n: usize, seed: u64) -> Vec<f64> {
+    use updp_dist::ContinuousDistribution;
+    let mut rng = updp_core::rng::seeded(seed);
+    updp_dist::Gaussian::new(100.0, 5.0)
+        .expect("valid parameters")
+        .sample_vec(&mut rng, n)
+}
+
+/// One load level: `connections` worker threads, each issuing
+/// `requests` queries on its own dataset. Returns the merged run row.
+fn run_level(addr: &str, connections: usize, requests: usize, records: usize) -> LoadRun {
+    // Register the per-connection datasets first (setup, not timed).
+    // 409 means a previous loadgen run against this server already
+    // registered the name — re-attach instead of dying, so repeat
+    // measurements against a long-running server work.
+    for worker in 0..connections {
+        let mut setup = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+        let name = format!("load-c{connections}-w{worker}");
+        match setup.register(&name, 1e12, &gaussian(records, worker as u64)) {
+            Ok(_) => {}
+            Err(updp_serve::client::ClientError::Status { status: 409, .. }) => {}
+            Err(e) => die(&format!("register {name}: {e}")),
+        }
+    }
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let name = format!("load-c{connections}-w{worker}");
+                    let mut connection =
+                        Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+                    let mut latencies = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let body = query_body(
+                            &name,
+                            i as u64,
+                            false,
+                            &[
+                                ("mean", 1e-3, None),
+                                ("quantile", 1e-3, Some(0.9)),
+                                ("iqr", 1e-3, None),
+                            ],
+                        );
+                        let sent = Instant::now();
+                        connection
+                            .query(&body)
+                            .unwrap_or_else(|e| die(&format!("query {name}: {e}")));
+                        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(f64::total_cmp);
+    LoadRun {
+        connections,
+        requests: latencies.len(),
+        wall_ms,
+        rps: latencies.len() as f64 / (wall_ms / 1e3),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut requests = 500usize;
+    let mut connections = vec![1usize, 8];
+    let mut records = 10_000usize;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--requests" => {
+                requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --requests"))
+            }
+            "--connections" => {
+                connections = value("--connections")
+                    .split(',')
+                    .map(|tok| tok.trim().parse().unwrap_or_else(|_| die("bad --connections")))
+                    .collect()
+            }
+            "--records" => {
+                records = value("--records")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --records"))
+            }
+            "--out" => out_path = value("--out"),
+            "--check" => check = true,
+            _ => die("usage: loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…] [--records N] [--out PATH] [--check]"),
+        }
+    }
+    if check {
+        requests = 5;
+        connections = vec![1, 2];
+        records = 2_000;
+    }
+
+    // Self-contained mode: host an in-process server.
+    let mut server_thread = None;
+    let addr = match addr {
+        Some(addr) => addr,
+        None => {
+            let server = Server::bind("127.0.0.1:0", Ledger::in_memory())
+                .unwrap_or_else(|e| die(&format!("bind: {e}")));
+            let local = server.local_addr().expect("bound listener has an address");
+            eprintln!("loadgen: in-process server on {local}");
+            server_thread = Some(std::thread::spawn(move || server.run()));
+            local.to_string()
+        }
+    };
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let runs: Vec<LoadRun> = connections
+        .iter()
+        .map(|&c| {
+            eprintln!("loadgen: level c = {c} ({requests} requests/connection)");
+            run_level(&addr, c, requests, records)
+        })
+        .collect();
+    let report = ServeReport {
+        schema: SCHEMA.into(),
+        host_threads,
+        dataset_records: records,
+        runs,
+        note: if check {
+            "smoke mode (--check): numbers are not a baseline".into()
+        } else {
+            format!("hardened batch (mean + p90 + iqr) per request; host_threads = {host_threads}")
+        },
+    };
+
+    let json = report.to_json();
+    let parsed = ServeReport::from_json(&json)
+        .unwrap_or_else(|e| panic!("schema round-trip failed to parse: {e}"));
+    assert_eq!(parsed, report, "schema round-trip changed the report");
+
+    if server_thread.is_some() {
+        let mut connection = Connection::open(&addr).unwrap_or_else(|e| die(&e.to_string()));
+        let _ = connection.shutdown();
+    }
+    if let Some(handle) = server_thread {
+        let _ = handle.join();
+    }
+
+    if check {
+        println!("loadgen --check OK: schema {SCHEMA} round-trips");
+    } else {
+        std::fs::write(&out_path, &json).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
+        println!("wrote {out_path}");
+        print!("{json}");
+    }
+}

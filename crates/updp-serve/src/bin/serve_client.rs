@@ -1,0 +1,192 @@
+//! `serve-client` — scripted queries against a running `updp-serve`.
+//!
+//! ```text
+//! serve-client --addr HOST:PORT <command> [args]
+//!
+//! commands:
+//!   register NAME --budget E (--data x,y,… | --gaussian N)
+//!   append   NAME --data x,y,…
+//!   drop     NAME
+//!   list
+//!   query    NAME --seed S [--raw] [--mean E] [--variance E]
+//!            [--quantile Q:E] [--iqr E] [--multi-mean E]
+//!   shutdown
+//! ```
+//!
+//! Prints the server's JSON response body on stdout. Exits 0 on a 2xx
+//! response, 1 otherwise (so shell pipelines can assert refusals —
+//! the CI smoke step relies on a budget-exhausted query exiting
+//! nonzero).
+
+use updp_serve::client::{query_body, ClientError, Connection};
+
+fn die(message: &str) -> ! {
+    eprintln!("serve-client: {message}");
+    std::process::exit(2);
+}
+
+fn parse_data(text: &str) -> Vec<f64> {
+    text.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<f64>()
+                .unwrap_or_else(|_| die(&format!("bad number `{tok}` in --data")))
+        })
+        .collect()
+}
+
+/// Deterministic Gaussian(100, 5) sample for quickstart registration.
+fn gaussian(n: usize) -> Vec<f64> {
+    use updp_dist::ContinuousDistribution;
+    let mut rng = updp_core::rng::seeded(0xDA7A);
+    updp_dist::Gaussian::new(100.0, 5.0)
+        .expect("valid parameters")
+        .sample_vec(&mut rng, n)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            self.0.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Option<String> {
+        let i = self.0.iter().position(|a| a == name)?;
+        if i + 1 >= self.0.len() {
+            die(&format!("{name} needs a value"));
+        }
+        self.0.remove(i);
+        Some(self.0.remove(i))
+    }
+
+    fn f64_value(&mut self, name: &str) -> Option<f64> {
+        self.value(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs a number, got `{v}`")))
+        })
+    }
+
+    fn positional(&mut self) -> Option<String> {
+        let i = self.0.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.0.remove(i))
+    }
+
+    fn finish(self) {
+        if let Some(extra) = self.0.first() {
+            die(&format!("unexpected argument `{extra}`"));
+        }
+    }
+}
+
+fn main() {
+    let mut args = Args(std::env::args().skip(1).collect());
+    let addr = args
+        .value("--addr")
+        .unwrap_or_else(|| "127.0.0.1:7817".into());
+    let command = args.positional().unwrap_or_else(|| die("missing command"));
+
+    let mut connection =
+        Connection::open(&addr).unwrap_or_else(|e| die(&format!("cannot reach {addr}: {e}")));
+    let result = match command.as_str() {
+        "register" => {
+            let name = args.positional().unwrap_or_else(|| die("register NAME"));
+            let budget = args
+                .f64_value("--budget")
+                .unwrap_or_else(|| die("register needs --budget"));
+            let data = match (args.value("--data"), args.value("--gaussian")) {
+                (Some(text), None) => parse_data(&text),
+                (None, Some(n)) => gaussian(
+                    n.parse()
+                        .unwrap_or_else(|_| die(&format!("bad --gaussian `{n}`"))),
+                ),
+                _ => die("register needs exactly one of --data / --gaussian"),
+            };
+            args.finish();
+            connection.register(&name, budget, &data)
+        }
+        "append" => {
+            let name = args.positional().unwrap_or_else(|| die("append NAME"));
+            let data = args
+                .value("--data")
+                .map(|text| parse_data(&text))
+                .unwrap_or_else(|| die("append needs --data"));
+            args.finish();
+            let body = updp_core::json::JsonValue::object(vec![
+                ("name", name.as_str().into()),
+                ("data", updp_core::json::JsonValue::numbers(&data)),
+            ])
+            .to_compact();
+            connection.request("POST", "/v1/append", &body)
+        }
+        "drop" => {
+            let name = args.positional().unwrap_or_else(|| die("drop NAME"));
+            args.finish();
+            let body = updp_core::json::JsonValue::object(vec![("name", name.as_str().into())])
+                .to_compact();
+            connection.request("POST", "/v1/drop", &body)
+        }
+        "list" => {
+            args.finish();
+            connection.request("GET", "/v1/datasets", "")
+        }
+        "query" => {
+            let name = args.positional().unwrap_or_else(|| die("query NAME"));
+            let seed = args
+                .f64_value("--seed")
+                .unwrap_or_else(|| die("query needs --seed")) as u64;
+            let raw = args.flag("--raw");
+            let mut queries: Vec<(&str, f64, Option<f64>)> = Vec::new();
+            if let Some(eps) = args.f64_value("--mean") {
+                queries.push(("mean", eps, None));
+            }
+            if let Some(eps) = args.f64_value("--variance") {
+                queries.push(("variance", eps, None));
+            }
+            if let Some(spec) = args.value("--quantile") {
+                let (q, eps) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| die("--quantile needs Q:E"));
+                queries.push((
+                    "quantile",
+                    eps.parse().unwrap_or_else(|_| die("bad --quantile ε")),
+                    Some(q.parse().unwrap_or_else(|_| die("bad --quantile level"))),
+                ));
+            }
+            if let Some(eps) = args.f64_value("--iqr") {
+                queries.push(("iqr", eps, None));
+            }
+            if let Some(eps) = args.f64_value("--multi-mean") {
+                queries.push(("multi-mean", eps, None));
+            }
+            if queries.is_empty() {
+                die("query needs at least one of --mean/--variance/--quantile/--iqr/--multi-mean");
+            }
+            args.finish();
+            connection.query(&query_body(&name, seed, raw, &queries))
+        }
+        "shutdown" => {
+            args.finish();
+            connection.shutdown()
+        }
+        other => die(&format!("unknown command `{other}`")),
+    };
+
+    match result {
+        Ok(body) => println!("{body}"),
+        Err(ClientError::Status { status, body }) => {
+            println!("{body}");
+            eprintln!("serve-client: http {status}");
+            std::process::exit(1);
+        }
+        Err(ClientError::Transport(reason)) => {
+            eprintln!("serve-client: {reason}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The `updp-serve` server binary.
+//!
+//! ```text
+//! updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH]
+//! ```
+//!
+//! * `--addr` — bind address; default `127.0.0.1:7817`. Use port 0
+//!   for an ephemeral port (the chosen port is printed and, with
+//!   `--port-file`, written to a file scripts can poll — the CI smoke
+//!   step does exactly that).
+//! * `--ledger` — budget-snapshot path; default
+//!   `updp-serve-ledger.json` in the working directory. The snapshot
+//!   is reloaded on start, so spent budget survives restarts.
+//! * `--port-file` — after binding, write the chosen port (decimal,
+//!   one line) to this path.
+
+use updp_serve::{Ledger, Server};
+
+fn main() {
+    let mut addr = "127.0.0.1:7817".to_string();
+    let mut ledger_path = "updp-serve-ledger.json".to_string();
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--ledger" => ledger_path = value("--ledger"),
+            "--port-file" => port_file = Some(value("--port-file")),
+            _ => {
+                eprintln!(
+                    "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ledger = match Ledger::open(std::path::Path::new(&ledger_path)) {
+        Ok(ledger) => ledger,
+        Err(e) => {
+            eprintln!("updp-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::bind(&addr, ledger) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("updp-serve: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = server.local_addr().expect("bound listener has an address");
+    println!("updp-serve listening on http://{local} (ledger: {ledger_path})");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", local.port())) {
+            eprintln!("updp-serve: write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("updp-serve: {e}");
+        std::process::exit(1);
+    }
+    println!("updp-serve: clean shutdown");
+}

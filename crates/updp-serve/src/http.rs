@@ -1,0 +1,389 @@
+//! A minimal first-party HTTP/1.1 codec over `std::net` streams.
+//!
+//! Exactly the subset the serving wire format needs: request
+//! line + headers + `Content-Length` body, keep-alive by default
+//! (HTTP/1.1 semantics, honoring `Connection: close`), JSON bodies
+//! only. No chunked transfer, no TLS, no multipart — deployments that
+//! need those should front the server with a reverse proxy; the goal
+//! here is a dependency-free serving path (the build environment has
+//! no crates.io access).
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// How many consecutive read timeouts a *mid-request* read survives
+/// before the connection is dropped. The server's 500 ms socket
+/// timeout exists so idle connections can poll the shutdown flag;
+/// once a request has started arriving, stalls are tolerated up to
+/// this cap (~2 minutes) so slow uploads are not cut off, while a
+/// wedged peer still cannot pin the connection forever.
+pub const MAX_READ_STALLS: usize = 240;
+/// Upper bound on a request body (64 MiB ≈ an 8M-record f64 dataset
+/// in JSON — registrations beyond that should arrive in appends).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request path (no query-string splitting; paths are the API).
+    pub path: String,
+    /// Raw body bytes (UTF-8 JSON for every endpoint).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Protocol errors while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer sent something that is not valid HTTP/1.1 (or exceeds
+    /// the size limits).
+    Malformed(String),
+    /// A read timeout fired while the connection was idle between
+    /// requests (no byte of the next request seen yet). Only possible
+    /// when the caller set a socket read timeout; the server's accept
+    /// loop uses it to poll its shutdown flag so an idle keep-alive
+    /// connection can never pin the process alive.
+    IdleTimeout,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(reason) => write!(f, "malformed request: {reason}"),
+            HttpError::IdleTimeout => write!(f, "idle read timeout"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line terminated by `\n`, enforcing the head budget, and
+/// strips the trailing `\r\n`/`\n`. `Ok(None)` signals clean EOF
+/// before any byte (the peer closed an idle keep-alive connection).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn read_line(
+    stream: &mut impl BufRead,
+    budget: &mut usize,
+    first: bool,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut stalls = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if first && line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("unexpected EOF in head".into()));
+            }
+            Ok(_) => {
+                stalls = 0;
+                *budget = budget
+                    .checked_sub(1)
+                    .ok_or_else(|| HttpError::Malformed("head too large".into()))?;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 head".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if is_timeout(&e) => {
+                // Before the first byte of a request this is the idle
+                // shutdown-poll signal; mid-request it is a stall,
+                // tolerated up to MAX_READ_STALLS.
+                if first && line.is_empty() {
+                    return Err(HttpError::IdleTimeout);
+                }
+                stalls += 1;
+                if stalls > MAX_READ_STALLS {
+                    return Err(HttpError::Io(e));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes, tolerating mid-transfer timeouts
+/// up to [`MAX_READ_STALLS`] (std's `read_exact` would fail on the
+/// first timeout and leave the buffer state unspecified).
+fn read_body(stream: &mut impl BufRead, len: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    let mut stalls = 0usize;
+    while filled < len {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("unexpected EOF in body".into())),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_READ_STALLS {
+                    return Err(HttpError::Io(e));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the idle
+/// connection cleanly (normal end of a keep-alive session).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(stream, &mut budget, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_uppercase(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let line = read_line(stream, &mut budget, false)?
+            .ok_or_else(|| HttpError::Malformed("EOF in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{line}`")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            // Chunked framing is not implemented; silently ignoring it
+            // would desync the keep-alive stream (and differing
+            // framing interpretations behind a proxy are a smuggling
+            // vector), so refuse loudly.
+            "transfer-encoding" => {
+                return Err(HttpError::Malformed(
+                    "transfer-encoding is not supported; send Content-Length".into(),
+                ))
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let body = read_body(stream, content_length)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reason phrases for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one JSON request (client side).
+pub fn write_request(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: updp-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response (client side): `(status, body)`.
+pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, String), HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(stream, &mut budget, false)?
+        .ok_or_else(|| HttpError::Malformed("EOF before status line".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(stream, &mut budget, false)?
+            .ok_or_else(|| HttpError::Malformed("EOF in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad content-length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| HttpError::Malformed("non-UTF-8 body".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_through_the_codec() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/query", "{\"a\":1}").unwrap();
+        let req = read_request(&mut BufReader::new(wire.as_slice()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn response_round_trips_through_the_codec() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 403, "{\"error\":true}", false).unwrap();
+        let (status, body) = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(status, 403);
+        assert_eq!(body, "{\"error\":true}");
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 403 Forbidden\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let wire = b"GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire.as_slice()))
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn idle_eof_is_a_clean_none() {
+        let empty: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        for bad in [
+            "NOT-HTTP\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        ] {
+            assert!(
+                read_request(&mut BufReader::new(bad.as_bytes())).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_before_allocation() {
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut BufReader::new(wire.as_bytes())),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/v1/healthz", "").unwrap();
+        write_request(&mut wire, "POST", "/v1/shutdown", "{}").unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_request(&mut reader).unwrap().unwrap().path,
+            "/v1/healthz"
+        );
+        assert_eq!(
+            read_request(&mut reader).unwrap().unwrap().path,
+            "/v1/shutdown"
+        );
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! # updp-serve — the privacy-budget-accounted estimation service
+//!
+//! The deployment face of the universal private estimators (Dong &
+//! Yi, PODS 2023): a long-lived HTTP/1.1 + JSON process over
+//! `std::net::TcpListener` — entirely first-party, because the build
+//! environment is offline — that owns datasets and meters their
+//! privacy budgets across queries. DESIGN.md §6 is the contract;
+//! the pieces:
+//!
+//! * [`registry`] — sharded in-memory dataset registry
+//!   (register/append/drop, per-dataset `RwLock`, stable ids);
+//! * [`ledger`] — the ε accountant: atomic per-query reservation
+//!   under basic composition, structured refusals on exhaustion, and
+//!   a persisted snapshot so restarts cannot replay budget;
+//! * [`engine`] — batched queries (`mean`, `variance`, `quantile`,
+//!   `iqr`, `multi-mean`) over the `updp-statistical` estimators,
+//!   executed concurrently through `updp_core::parallel` with the
+//!   §1.1 child-seed scheme (bit-reproducible given the request
+//!   seed), with the hardened snapping release mode on by default;
+//! * [`http`] / [`wire`] — the first-party HTTP codec and the JSON
+//!   wire schema (shared `updp_core::json` implementation);
+//! * [`server`] / [`client`] — the serving loop and the blocking
+//!   client used by `serve-client`, `loadgen`, and the e2e tests;
+//! * [`report`] — the `BENCH_serve.json` load-test report schema.
+//!
+//! Binaries: `updp-serve` (the server), `serve-client` (scripted
+//! queries), `loadgen` (throughput/latency measurement).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod ledger;
+pub mod registry;
+pub mod report;
+pub mod server;
+pub mod wire;
+
+pub use engine::{QueryKind, QueryOutcome, QuerySpec, ReleaseMode};
+pub use ledger::Ledger;
+pub use registry::Registry;
+pub use server::Server;

@@ -1,0 +1,301 @@
+//! The sharded in-memory dataset registry.
+//!
+//! Datasets are keyed by a client-chosen *name* which doubles as the
+//! stable dataset id: it survives server restarts (the budget
+//! [`crate::ledger`] is keyed the same way, which is what makes
+//! restart-replay impossible) and is validated to a conservative token
+//! alphabet so it can appear verbatim in URLs, file names, and logs.
+//!
+//! Concurrency layout: names hash to one of [`SHARDS`] shards, each an
+//! independent `RwLock<HashMap>`; dataset *rows* live behind a second
+//! per-dataset `RwLock` inside an `Arc`, so queries on one dataset
+//! share a read lock with each other and never contend with traffic on
+//! other datasets (or with registry mutations on other shards).
+//!
+//! Data is stored column-major (`dim` columns of equal length): scalar
+//! datasets are one column, and the multivariate mean estimator
+//! consumes per-coordinate columns directly without re-slicing rows.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
+
+/// Number of registry shards. A fixed small power of two: enough to
+/// decorrelate unrelated datasets' lock traffic, cheap to scan for
+/// listings.
+pub const SHARDS: usize = 16;
+
+/// Maximum dataset-name length (the name is the wire-visible id).
+pub const MAX_NAME_LEN: usize = 64;
+
+/// One registered dataset: its immutable identity plus the mutable,
+/// column-major data behind a per-dataset `RwLock`.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The stable dataset id (client-chosen, validated).
+    pub name: String,
+    /// Record dimension (number of columns); fixed at registration.
+    pub dim: usize,
+    /// `dim` columns of equal length, one entry per record.
+    pub columns: RwLock<Vec<Vec<f64>>>,
+}
+
+impl Dataset {
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.columns.read().unwrap().first().map_or(0, Vec::len)
+    }
+
+    /// Whether the dataset currently holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Errors surfaced by registry operations (mapped to structured wire
+/// errors by the server layer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The dataset name failed validation.
+    BadName(String),
+    /// A dataset with this name already exists.
+    AlreadyExists(String),
+    /// No dataset with this name is registered.
+    NotFound(String),
+    /// Appended data does not match the dataset's dimension/shape.
+    DimensionMismatch {
+        /// The dataset's fixed dimension.
+        expected: usize,
+        /// The dimension of the offending payload.
+        got: usize,
+    },
+    /// Columns of unequal length, or a non-finite value.
+    BadData(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::BadName(name) => write!(
+                f,
+                "bad dataset name `{name}`: need 1..={MAX_NAME_LEN} chars of [A-Za-z0-9_-]"
+            ),
+            RegistryError::AlreadyExists(name) => write!(f, "dataset `{name}` already exists"),
+            RegistryError::NotFound(name) => write!(f, "dataset `{name}` not found"),
+            RegistryError::DimensionMismatch { expected, got } => {
+                write!(f, "dataset has dimension {expected}, payload has {got}")
+            }
+            RegistryError::BadData(reason) => write!(f, "bad data: {reason}"),
+        }
+    }
+}
+
+/// Validates a dataset name: `[A-Za-z0-9_-]{1,64}`.
+pub fn validate_name(name: &str) -> Result<(), RegistryError> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::BadName(name.into()))
+    }
+}
+
+/// Validates a column-major payload: at least one column, equal
+/// lengths, all values finite. Public so the server can vet a
+/// register request *before* touching the budget ledger.
+pub fn validate_columns(columns: &[Vec<f64>]) -> Result<(), RegistryError> {
+    if columns.is_empty() {
+        return Err(RegistryError::BadData("no columns".into()));
+    }
+    let len = columns[0].len();
+    if columns.iter().any(|c| c.len() != len) {
+        return Err(RegistryError::BadData("columns of unequal length".into()));
+    }
+    if columns.iter().flatten().any(|x| !x.is_finite()) {
+        return Err(RegistryError::BadData("non-finite value".into()));
+    }
+    Ok(())
+}
+
+/// The sharded registry.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<RwLock<HashMap<String, Arc<Dataset>>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with [`SHARDS`] shards.
+    pub fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Arc<Dataset>>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARDS]
+    }
+
+    /// Registers a new dataset from column-major data.
+    pub fn register(
+        &self,
+        name: &str,
+        columns: Vec<Vec<f64>>,
+    ) -> Result<Arc<Dataset>, RegistryError> {
+        validate_name(name)?;
+        validate_columns(&columns)?;
+        let mut shard = self.shard(name).write().unwrap();
+        if shard.contains_key(name) {
+            return Err(RegistryError::AlreadyExists(name.into()));
+        }
+        let dataset = Arc::new(Dataset {
+            name: name.into(),
+            dim: columns.len(),
+            columns: RwLock::new(columns),
+        });
+        shard.insert(name.into(), Arc::clone(&dataset));
+        Ok(dataset)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
+        self.shard(name)
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.into()))
+    }
+
+    /// Appends records (column-major, same dimension) to a dataset and
+    /// returns its new record count.
+    pub fn append(&self, name: &str, columns: Vec<Vec<f64>>) -> Result<usize, RegistryError> {
+        validate_columns(&columns)?;
+        let dataset = self.get(name)?;
+        if columns.len() != dataset.dim {
+            return Err(RegistryError::DimensionMismatch {
+                expected: dataset.dim,
+                got: columns.len(),
+            });
+        }
+        let mut held = dataset.columns.write().unwrap();
+        for (column, new) in held.iter_mut().zip(columns) {
+            column.extend(new);
+        }
+        Ok(held[0].len())
+    }
+
+    /// Drops a dataset's data. The budget ledger entry deliberately
+    /// survives (see `crate::ledger`): dropping and re-registering a
+    /// name must not mint fresh budget.
+    pub fn drop_dataset(&self, name: &str) -> Result<(), RegistryError> {
+        self.shard(name)
+            .write()
+            .unwrap()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotFound(name.into()))
+    }
+
+    /// All registered datasets as `(name, dim, records)` rows, sorted
+    /// by name for stable listings.
+    pub fn list(&self) -> Vec<(String, usize, usize)> {
+        let mut rows: Vec<(String, usize, usize)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .unwrap()
+                    .values()
+                    .map(|d| (d.name.clone(), d.dim, d.len()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(xs: &[f64]) -> Vec<Vec<f64>> {
+        vec![xs.to_vec()]
+    }
+
+    #[test]
+    fn register_get_append_drop_round_trip() {
+        let reg = Registry::new();
+        reg.register("a", col(&[1.0, 2.0])).unwrap();
+        assert_eq!(reg.get("a").unwrap().len(), 2);
+        assert_eq!(reg.append("a", col(&[3.0])).unwrap(), 3);
+        assert_eq!(reg.list(), vec![("a".into(), 1, 3)]);
+        reg.drop_dataset("a").unwrap();
+        assert_eq!(
+            reg.get("a").unwrap_err(),
+            RegistryError::NotFound("a".into())
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates_bad_names_and_bad_data() {
+        let reg = Registry::new();
+        reg.register("a", col(&[1.0])).unwrap();
+        assert!(matches!(
+            reg.register("a", col(&[1.0])),
+            Err(RegistryError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            reg.register("bad name!", col(&[1.0])),
+            Err(RegistryError::BadName(_))
+        ));
+        assert!(matches!(
+            reg.register("nan", col(&[f64::NAN])),
+            Err(RegistryError::BadData(_))
+        ));
+        assert!(matches!(
+            reg.register("ragged", vec![vec![1.0], vec![]]),
+            Err(RegistryError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn append_enforces_dimension() {
+        let reg = Registry::new();
+        reg.register("m", vec![vec![1.0], vec![2.0]]).unwrap();
+        assert!(matches!(
+            reg.append("m", col(&[1.0])),
+            Err(RegistryError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn shards_do_not_alias_datasets() {
+        let reg = Registry::new();
+        for i in 0..100 {
+            reg.register(&format!("ds-{i}"), col(&[i as f64])).unwrap();
+        }
+        assert_eq!(reg.list().len(), 100);
+        for i in 0..100 {
+            let d = reg.get(&format!("ds-{i}")).unwrap();
+            assert_eq!(d.columns.read().unwrap()[0][0], i as f64);
+        }
+    }
+}

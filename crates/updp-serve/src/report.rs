@@ -1,0 +1,171 @@
+//! The `BENCH_serve.json` load-test report, mirroring
+//! `updp-bench::baseline`: schema owned by code, round-tripped through
+//! the shared [`updp_core::json`] codec, smoke-checked in CI by
+//! `loadgen --check` so the report machinery cannot rot.
+
+use updp_core::json::JsonValue;
+
+/// The current schema tag.
+pub const SCHEMA: &str = "updp-serve-loadgen/v1";
+
+/// One measured load level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRun {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests completed across all connections.
+    pub requests: usize,
+    /// Wall milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Requests per second (`requests / wall`).
+    pub rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The full load report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Schema tag; bump on breaking changes.
+    pub schema: String,
+    /// `available_parallelism()` on the measuring host.
+    pub host_threads: usize,
+    /// Records per request-target dataset.
+    pub dataset_records: usize,
+    /// One row per connection count (the committed file measures 1
+    /// and 8).
+    pub runs: Vec<LoadRun>,
+    /// Free-form measurement caveats.
+    pub note: String,
+}
+
+impl ServeReport {
+    /// Serializes to pretty-printed JSON (stable field order).
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .map(|run| {
+                JsonValue::object(vec![
+                    ("connections", run.connections.into()),
+                    ("requests", run.requests.into()),
+                    ("wall_ms", run.wall_ms.into()),
+                    ("rps", run.rps.into()),
+                    ("p50_ms", run.p50_ms.into()),
+                    ("p99_ms", run.p99_ms.into()),
+                ])
+            })
+            .collect();
+        let mut out = JsonValue::object(vec![
+            ("schema", self.schema.as_str().into()),
+            ("host_threads", self.host_threads.into()),
+            ("dataset_records", self.dataset_records.into()),
+            ("runs", JsonValue::Array(runs)),
+            ("note", self.note.as_str().into()),
+        ])
+        .to_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report previously produced by [`ServeReport::to_json`].
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(input)?;
+        let obj = doc.as_object("top level")?;
+        let schema = obj.get_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema `{schema}`, expected `{SCHEMA}`"));
+        }
+        let runs = obj
+            .get_array("runs")?
+            .iter()
+            .map(|v| -> Result<LoadRun, String> {
+                let run = v.as_object("run")?;
+                Ok(LoadRun {
+                    connections: run.get_usize("connections")?,
+                    requests: run.get_usize("requests")?,
+                    wall_ms: run.get_f64("wall_ms")?,
+                    rps: run.get_f64("rps")?,
+                    p50_ms: run.get_f64("p50_ms")?,
+                    p99_ms: run.get_f64("p99_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServeReport {
+            schema,
+            host_threads: obj.get_usize("host_threads")?,
+            dataset_records: obj.get_usize("dataset_records")?,
+            runs,
+            note: obj.get_str("note")?,
+        })
+    }
+}
+
+/// The `p`-quantile of `sorted` latencies (nearest-rank).
+pub fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            schema: SCHEMA.into(),
+            host_threads: 4,
+            dataset_records: 10_000,
+            runs: vec![
+                LoadRun {
+                    connections: 1,
+                    requests: 500,
+                    wall_ms: 1250.5,
+                    rps: 399.84,
+                    p50_ms: 2.25,
+                    p99_ms: 8.875,
+                },
+                LoadRun {
+                    connections: 8,
+                    requests: 4_000,
+                    wall_ms: 3000.125,
+                    rps: 1333.28,
+                    p50_ms: 5.5,
+                    p99_ms: 19.25,
+                },
+            ],
+            note: "test sample".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let report = sample();
+        let json = report.to_json();
+        let back = ServeReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_mangled_input() {
+        assert!(ServeReport::from_json("{}").is_err());
+        assert!(ServeReport::from_json("{\"schema\": \"updp-bench-baseline/v1\"}").is_err());
+        let json = sample().to_json();
+        assert!(ServeReport::from_json(&json[..json.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_ms(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_ms(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_ms(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The long-lived serving process: TCP accept loop, routing, and the
+//! registry/ledger/engine wiring.
+//!
+//! One OS thread per connection (connections are long-lived and
+//! keep-alive; the per-request work is estimator-bound, not
+//! connection-bound), with all shared state behind the
+//! registry/ledger synchronization described in their modules. The
+//! HTTP surface:
+//!
+//! | Route | Body | Effect |
+//! |---|---|---|
+//! | `GET /v1/healthz` | — | liveness probe |
+//! | `GET /v1/datasets` | — | list datasets + budgets |
+//! | `POST /v1/register` | `{name, budget, data\|columns}` | create dataset + ledger account |
+//! | `POST /v1/append` | `{name, data\|columns}` | append records |
+//! | `POST /v1/drop` | `{name}` | drop data (ledger entry survives) |
+//! | `POST /v1/query` | see [`crate::wire::parse_query`] | budgeted batch estimation |
+//! | `POST /v1/shutdown` | — | graceful stop |
+
+use crate::engine::{execute_batch, EngineError, QueryOutcome, ReleaseMode};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::ledger::{Ledger, LedgerError};
+use crate::registry::{Registry, RegistryError};
+use crate::wire;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use updp_core::json::JsonValue;
+
+/// Shared server state.
+pub struct AppState {
+    /// The sharded dataset registry.
+    pub registry: Registry,
+    /// The persisted privacy-budget ledger.
+    pub ledger: Ledger,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `ledger`.
+    pub fn bind(addr: &str, ledger: Ledger) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(AppState {
+                registry: Registry::new(),
+                ledger,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `POST /v1/shutdown` arrives, then joins every
+    /// in-flight connection before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Responses are written as head + body; without NODELAY
+            // that pattern hits Nagle/delayed-ACK stalls (~40 ms per
+            // response on loopback).
+            let _ = stream.set_nodelay(true);
+            // Idle connections wake every 500 ms to poll the shutdown
+            // flag (HttpError::IdleTimeout), so a lingering keep-alive
+            // client cannot block the post-shutdown join.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+            let state = Arc::clone(&self.state);
+            handles.retain(|h| !h.is_finished());
+            handles.push(std::thread::spawn(move || serve_connection(stream, &state)));
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Signals shutdown and wakes the blocked accept loop with a
+/// throwaway connection to ourselves.
+fn trigger_shutdown(state: &AppState, local: std::io::Result<SocketAddr>) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    if let Ok(addr) = local {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &AppState) {
+    let peer_local = stream.local_addr();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed an idle connection
+            Err(HttpError::IdleTimeout) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Malformed(reason)) => {
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    &wire::error_body("bad_request", &reason),
+                    false,
+                );
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = route(state, &request);
+        let is_shutdown = request.method == "POST" && request.path == "/v1/shutdown";
+        if write_response(&mut writer, status, &body, keep_alive && !is_shutdown).is_err() {
+            return;
+        }
+        if is_shutdown {
+            trigger_shutdown(state, peer_local);
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+type Response = (u16, String);
+
+fn ok(value: JsonValue) -> Response {
+    (200, value.to_compact())
+}
+
+fn error(status: u16, code: &str, message: &str) -> Response {
+    (status, wire::error_body(code, message))
+}
+
+fn registry_error(e: &RegistryError) -> Response {
+    let (status, code) = match e {
+        RegistryError::NotFound(_) => (404, "not_found"),
+        RegistryError::AlreadyExists(_) => (409, "already_exists"),
+        RegistryError::BadName(_) => (400, "bad_name"),
+        RegistryError::DimensionMismatch { .. } | RegistryError::BadData(_) => (400, "bad_data"),
+    };
+    error(status, code, &e.to_string())
+}
+
+fn ledger_error(e: &LedgerError) -> Response {
+    match e {
+        LedgerError::UnknownDataset(_) => error(404, "not_found", &e.to_string()),
+        LedgerError::BadParameter(_) => error(400, "bad_request", &e.to_string()),
+        LedgerError::Snapshot(_) => error(500, "ledger_io", &e.to_string()),
+    }
+}
+
+fn route(state: &AppState, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error(400, "bad_request", "body is not UTF-8"),
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => ok(JsonValue::object(vec![("ok", true.into())])),
+        ("GET", "/v1/datasets") => list(state),
+        ("POST", "/v1/register") => register(state, body),
+        ("POST", "/v1/append") => append(state, body),
+        ("POST", "/v1/drop") => drop_dataset(state, body),
+        ("POST", "/v1/query") => query(state, body),
+        ("POST", "/v1/shutdown") => ok(JsonValue::object(vec![("shutting_down", true.into())])),
+        (_, path) if known_path(path) => error(405, "method_not_allowed", path),
+        (_, path) => error(404, "not_found", path),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/v1/healthz"
+            | "/v1/datasets"
+            | "/v1/register"
+            | "/v1/append"
+            | "/v1/drop"
+            | "/v1/query"
+            | "/v1/shutdown"
+    )
+}
+
+fn list(state: &AppState) -> Response {
+    let rows = state
+        .registry
+        .list()
+        .into_iter()
+        .map(|(name, dim, records)| {
+            let mut fields = vec![
+                ("name", name.as_str().into()),
+                ("dim", dim.into()),
+                ("records", records.into()),
+            ];
+            if let Ok(account) = state.ledger.account(&name) {
+                fields.push(("budget", wire::budget_json(&account)));
+            }
+            JsonValue::object(fields)
+        })
+        .collect();
+    ok(JsonValue::object(vec![(
+        "datasets",
+        JsonValue::Array(rows),
+    )]))
+}
+
+fn register(state: &AppState, body: &str) -> Response {
+    let request = match wire::parse_register(body) {
+        Ok(r) => r,
+        Err(e) => return error(400, "bad_request", &e.to_string()),
+    };
+    // Validate everything before touching either store: a rejected
+    // registration must not create or alter any persisted account.
+    if !(request.budget.is_finite() && request.budget > 0.0) {
+        return error(400, "bad_request", "budget must be finite and positive");
+    }
+    if let Err(e) = crate::registry::validate_name(&request.name) {
+        return registry_error(&e);
+    }
+    if let Err(e) = crate::registry::validate_columns(&request.columns) {
+        return registry_error(&e);
+    }
+    // Ledger before registry: the moment a dataset becomes visible to
+    // queries, its account must already exist (registry-first would
+    // open a window of spurious 404s). The ledger owns replay
+    // protection — re-registering re-attaches with spent and the
+    // originally pinned budget intact. If the registry then reports a
+    // duplicate, the account we touched is the *same dataset's*
+    // account (names are the ids), so there is nothing to roll back.
+    let account = match state.ledger.register(&request.name, request.budget) {
+        Ok(account) => account,
+        Err(e) => return ledger_error(&e),
+    };
+    match state.registry.register(&request.name, request.columns) {
+        Ok(dataset) => ok(JsonValue::object(vec![
+            ("name", dataset.name.as_str().into()),
+            ("dim", dataset.dim.into()),
+            ("records", dataset.len().into()),
+            ("budget", wire::budget_json(&account)),
+        ])),
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn append(state: &AppState, body: &str) -> Response {
+    let (name, columns) = match wire::parse_append(body) {
+        Ok(r) => r,
+        Err(e) => return error(400, "bad_request", &e.to_string()),
+    };
+    match state.registry.append(&name, columns) {
+        Ok(records) => ok(JsonValue::object(vec![
+            ("name", name.as_str().into()),
+            ("records", records.into()),
+        ])),
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn drop_dataset(state: &AppState, body: &str) -> Response {
+    let name = match wire::parse_drop(body) {
+        Ok(name) => name,
+        Err(e) => return error(400, "bad_request", &e.to_string()),
+    };
+    match state.registry.drop_dataset(&name) {
+        Ok(()) => ok(JsonValue::object(vec![
+            ("name", name.as_str().into()),
+            ("dropped", true.into()),
+            // The ledger entry survives by design (replay protection).
+            ("ledger_retained", true.into()),
+        ])),
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn query(state: &AppState, body: &str) -> Response {
+    let request = match wire::parse_query(body) {
+        Ok(r) => r,
+        Err(e) => return error(400, "bad_request", &e.to_string()),
+    };
+    let dataset = match state.registry.get(&request.dataset) {
+        Ok(d) => d,
+        Err(e) => return registry_error(&e),
+    };
+    let mode = if request.raw {
+        ReleaseMode::Raw
+    } else {
+        if !(request.bound.is_finite() && request.bound > 0.0) {
+            return error(400, "bad_request", "bound must be finite and positive");
+        }
+        ReleaseMode::Hardened {
+            bound: request.bound,
+        }
+    };
+    let outcomes = match execute_batch(&dataset, &state.ledger, &request.specs, request.seed, mode)
+    {
+        Ok(outcomes) => outcomes,
+        Err(EngineError::BadQuery(reason)) => return error(400, "bad_query", &reason),
+        Err(EngineError::Ledger(e)) => return ledger_error(&e),
+    };
+    let account = match state.ledger.account(&request.dataset) {
+        Ok(account) => account,
+        Err(e) => return ledger_error(&e),
+    };
+    // Every query refused ⇒ the whole request was starved: 403 so
+    // scripted callers (CI smoke, loadgen) fail loudly.
+    let starved = outcomes
+        .iter()
+        .all(|o| matches!(o, QueryOutcome::Refused { .. }));
+    let status = if starved { 403 } else { 200 };
+    (status, wire::query_response(&request, &outcomes, &account))
+}

@@ -1,0 +1,318 @@
+//! The JSON wire format (requests in, responses out).
+//!
+//! Documented as a contract in DESIGN.md §6 and exercised end-to-end
+//! by the CI smoke step. Everything flows through the shared
+//! [`updp_core::json`] codec; responses are compact JSON (one line).
+
+use crate::engine::{QueryKind, QueryOutcome, QuerySpec, ReleaseInfo, DEFAULT_BOUND};
+use crate::ledger::Account;
+use updp_core::json::JsonValue;
+
+/// A parse failure, reported to the client as a `bad_request` error.
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<String> for WireError {
+    fn from(s: String) -> Self {
+        WireError(s)
+    }
+}
+
+/// Extracts column-major data from a payload: either `"data": [x, …]`
+/// (a dimension-1 dataset) or `"columns": [[x, …], …]`.
+fn parse_columns(obj: &updp_core::json::Object<'_>) -> Result<Vec<Vec<f64>>, WireError> {
+    let numbers = |value: &JsonValue, what: &str| -> Result<Vec<f64>, String> {
+        value
+            .as_array(what)?
+            .iter()
+            .map(|x| x.as_f64(what))
+            .collect()
+    };
+    match (obj.opt("data"), obj.opt("columns")) {
+        (Some(data), None) => Ok(vec![numbers(data, "data")?]),
+        (None, Some(columns)) => columns
+            .as_array("columns")?
+            .iter()
+            .map(|c| numbers(c, "column").map_err(WireError))
+            .collect(),
+        (Some(_), Some(_)) => Err(WireError("give `data` or `columns`, not both".into())),
+        (None, None) => Err(WireError("missing `data` (or `columns`)".into())),
+    }
+}
+
+/// Parsed `POST /v1/register` body.
+#[derive(Debug, PartialEq)]
+pub struct RegisterRequest {
+    /// Dataset name (= stable id).
+    pub name: String,
+    /// Total ε budget for the dataset's lifetime.
+    pub budget: f64,
+    /// Column-major data.
+    pub columns: Vec<Vec<f64>>,
+}
+
+/// Parses a register body: `{"name", "budget", "data"|"columns"}`.
+pub fn parse_register(body: &str) -> Result<RegisterRequest, WireError> {
+    let doc = JsonValue::parse(body)?;
+    let obj = doc.as_object("register request")?;
+    Ok(RegisterRequest {
+        name: obj.get_str("name")?,
+        budget: obj.get_f64("budget")?,
+        columns: parse_columns(&obj)?,
+    })
+}
+
+/// Parses an append body: `{"name", "data"|"columns"}`.
+pub fn parse_append(body: &str) -> Result<(String, Vec<Vec<f64>>), WireError> {
+    let doc = JsonValue::parse(body)?;
+    let obj = doc.as_object("append request")?;
+    Ok((obj.get_str("name")?, parse_columns(&obj)?))
+}
+
+/// Parses a drop body: `{"name"}`.
+pub fn parse_drop(body: &str) -> Result<String, WireError> {
+    let doc = JsonValue::parse(body)?;
+    Ok(doc.as_object("drop request")?.get_str("name")?)
+}
+
+/// Parsed `POST /v1/query` body.
+#[derive(Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Target dataset name.
+    pub dataset: String,
+    /// Request seed: the response is bit-reproducible given it.
+    pub seed: u64,
+    /// `true` opts out of the hardened snapping release.
+    pub raw: bool,
+    /// Clamp bound for hardened releases.
+    pub bound: f64,
+    /// The batch, in order.
+    pub specs: Vec<QuerySpec>,
+}
+
+/// Parses a query body:
+/// `{"dataset", "seed", "raw"?, "bound"?, "queries": [{"kind", "epsilon", "q"?}, …]}`.
+pub fn parse_query(body: &str) -> Result<QueryRequest, WireError> {
+    let doc = JsonValue::parse(body)?;
+    let obj = doc.as_object("query request")?;
+    let seed = obj.get_f64("seed")?;
+    // JSON numbers are f64: integers above 2^53 would be silently
+    // rounded, breaking "bit-reproducible from the request seed" —
+    // reject them instead of guessing.
+    const MAX_SEED: f64 = 9_007_199_254_740_992.0; // 2^53
+    if !(seed >= 0.0 && seed.fract() == 0.0 && seed <= MAX_SEED) {
+        return Err(WireError(format!(
+            "seed must be an integer in [0, 2^53], got {seed}"
+        )));
+    }
+    let raw = match obj.opt("raw") {
+        Some(JsonValue::Bool(b)) => *b,
+        Some(_) => return Err(WireError("`raw` must be a boolean".into())),
+        None => false,
+    };
+    let bound = match obj.opt("bound") {
+        Some(v) => v.as_f64("bound")?,
+        None => DEFAULT_BOUND,
+    };
+    let specs = obj
+        .get_array("queries")?
+        .iter()
+        .map(|q| -> Result<QuerySpec, WireError> {
+            let q = q.as_object("query")?;
+            let kind = match q.get_str("kind")?.as_str() {
+                "mean" => QueryKind::Mean,
+                "variance" => QueryKind::Variance,
+                "quantile" => QueryKind::Quantile(q.get_f64("q")?),
+                "iqr" => QueryKind::Iqr,
+                "multi-mean" => QueryKind::MultiMean,
+                other => return Err(WireError(format!("unknown query kind `{other}`"))),
+            };
+            Ok(QuerySpec {
+                kind,
+                epsilon: q.get_f64("epsilon")?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if specs.is_empty() {
+        return Err(WireError("empty query batch".into()));
+    }
+    Ok(QueryRequest {
+        dataset: obj.get_str("dataset")?,
+        seed: seed as u64,
+        raw,
+        bound,
+        specs,
+    })
+}
+
+/// `{"error": {"code", "message"}}`.
+pub fn error_body(code: &str, message: &str) -> String {
+    JsonValue::object(vec![(
+        "error",
+        JsonValue::object(vec![("code", code.into()), ("message", message.into())]),
+    )])
+    .to_compact()
+}
+
+/// The budget trailer attached to dataset-touching responses.
+pub fn budget_json(account: &Account) -> JsonValue {
+    JsonValue::object(vec![
+        ("total", account.budget.into()),
+        ("spent", account.spent.into()),
+        ("remaining", account.remaining().into()),
+    ])
+}
+
+/// Renders one query outcome as its wire object.
+pub fn outcome_json(outcome: &QueryOutcome) -> JsonValue {
+    match outcome {
+        QueryOutcome::Released {
+            kind,
+            values,
+            epsilon_charged,
+            release,
+        } => {
+            let release = match release {
+                ReleaseInfo::Raw => JsonValue::object(vec![("snapped", false.into())]),
+                ReleaseInfo::Snapped {
+                    lambdas,
+                    bound,
+                    inflation,
+                } => JsonValue::object(vec![
+                    ("snapped", true.into()),
+                    ("lambdas", JsonValue::numbers(lambdas)),
+                    ("bound", (*bound).into()),
+                    ("epsilon_inflation", (*inflation).into()),
+                ]),
+            };
+            JsonValue::object(vec![
+                ("kind", (*kind).into()),
+                ("values", JsonValue::numbers(values)),
+                ("epsilon_charged", (*epsilon_charged).into()),
+                ("release", release),
+            ])
+        }
+        QueryOutcome::Refused { kind, refusal } => JsonValue::object(vec![
+            ("kind", (*kind).into()),
+            (
+                "error",
+                JsonValue::object(vec![
+                    ("code", "budget_exhausted".into()),
+                    ("requested", refusal.requested.into()),
+                    ("available", refusal.available.into()),
+                ]),
+            ),
+        ]),
+        QueryOutcome::Failed { kind, message } => JsonValue::object(vec![
+            ("kind", (*kind).into()),
+            (
+                "error",
+                JsonValue::object(vec![
+                    ("code", "estimator_failed".into()),
+                    ("message", message.as_str().into()),
+                ]),
+            ),
+        ]),
+    }
+}
+
+/// Renders a full query response body.
+pub fn query_response(
+    request: &QueryRequest,
+    outcomes: &[QueryOutcome],
+    account: &Account,
+) -> String {
+    JsonValue::object(vec![
+        ("dataset", request.dataset.as_str().into()),
+        ("seed", (request.seed as f64).into()),
+        ("raw", request.raw.into()),
+        (
+            "results",
+            JsonValue::Array(outcomes.iter().map(outcome_json).collect()),
+        ),
+        ("budget", budget_json(account)),
+    ])
+    .to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Refusal;
+
+    #[test]
+    fn register_parses_scalar_and_columns() {
+        let scalar = parse_register(r#"{"name":"a","budget":1.5,"data":[1,2,3]}"#).unwrap();
+        assert_eq!(scalar.columns, vec![vec![1.0, 2.0, 3.0]]);
+        let multi = parse_register(r#"{"name":"m","budget":2,"columns":[[1,2],[3,4]]}"#).unwrap();
+        assert_eq!(multi.columns.len(), 2);
+        assert!(parse_register(r#"{"name":"x","budget":1}"#).is_err());
+        assert!(parse_register(r#"{"name":"x","budget":1,"data":[1],"columns":[[1]]}"#).is_err());
+    }
+
+    #[test]
+    fn query_parses_the_full_surface() {
+        let req = parse_query(
+            r#"{"dataset":"a","seed":42,"raw":true,"bound":100,
+                "queries":[{"kind":"mean","epsilon":0.1},
+                           {"kind":"quantile","q":0.9,"epsilon":0.2},
+                           {"kind":"multi-mean","epsilon":0.3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.seed, 42);
+        assert!(req.raw);
+        assert_eq!(req.bound, 100.0);
+        assert_eq!(req.specs.len(), 3);
+        assert_eq!(req.specs[1].kind, QueryKind::Quantile(0.9));
+    }
+
+    #[test]
+    fn query_defaults_are_hardened() {
+        let req =
+            parse_query(r#"{"dataset":"a","seed":1,"queries":[{"kind":"iqr","epsilon":0.1}]}"#)
+                .unwrap();
+        assert!(!req.raw, "hardened release must be the default");
+        assert_eq!(req.bound, DEFAULT_BOUND);
+    }
+
+    #[test]
+    fn query_rejects_bad_shapes() {
+        assert!(parse_query(r#"{"dataset":"a","seed":-1,"queries":[]}"#).is_err());
+        // 2^53 + 2: representable but beyond exact-integer range.
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":9007199254740994,"queries":[{"kind":"mean","epsilon":0.1}]}"#
+        )
+        .is_err());
+        assert!(parse_query(r#"{"dataset":"a","seed":1,"queries":[]}"#).is_err());
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"kind":"mode","epsilon":0.1}]}"#
+        )
+        .is_err());
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"kind":"quantile","epsilon":0.1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn refusals_render_as_structured_errors() {
+        let body = outcome_json(&QueryOutcome::Refused {
+            kind: "mean",
+            refusal: Refusal {
+                requested: 0.5,
+                available: 0.125,
+            },
+        })
+        .to_compact();
+        assert_eq!(
+            body,
+            r#"{"kind":"mean","error":{"code":"budget_exhausted","requested":0.5,"available":0.125}}"#
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end acceptance: a real server on an ephemeral port, driven
+//! over real sockets through the client library.
+//!
+//! Pins the ISSUE's flow: register → batched query (mean + quantile +
+//! iqr) → bit-identical `results` on repeat with the same seed →
+//! budget-exhaustion refusal → restart does not restore spent budget.
+
+use std::path::PathBuf;
+use updp_core::json::JsonValue;
+use updp_dist::ContinuousDistribution;
+use updp_serve::client::{query_body, ClientError, Connection};
+use updp_serve::{Ledger, Server};
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("updp-e2e-{}-{tag}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Starts a server over `ledger`; returns its address and the thread
+/// to join after shutdown.
+fn start(ledger: Ledger) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", ledger).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn gaussian(n: usize) -> Vec<f64> {
+    let mut rng = updp_core::rng::seeded(0xE2E);
+    updp_dist::Gaussian::new(50.0, 5.0)
+        .expect("valid parameters")
+        .sample_vec(&mut rng, n)
+}
+
+/// The `results` array of a query response — the part of the wire
+/// contract that must be bit-identical across repeats (the `budget`
+/// trailer legitimately advances).
+fn results_of(body: &str) -> String {
+    let doc = JsonValue::parse(body).expect("valid response JSON");
+    let obj = doc.as_object("response").expect("response object");
+    JsonValue::Array(obj.get_array("results").expect("results").to_vec()).to_compact()
+}
+
+#[test]
+fn register_query_repeat_exhaust_restart() {
+    let ledger_path = temp_ledger("flow");
+    let (addr, server) = start(Ledger::open(&ledger_path).expect("open ledger"));
+    let mut client = Connection::open(&addr).expect("connect");
+
+    // Register: 5k Gaussian records, ε budget 2.0.
+    let body = client.register("salaries", 2.0, &gaussian(5_000)).unwrap();
+    let doc = JsonValue::parse(&body).unwrap();
+    let obj = doc.as_object("register response").unwrap();
+    assert_eq!(obj.get_str("name").unwrap(), "salaries");
+    assert_eq!(obj.get_usize("records").unwrap(), 5_000);
+
+    // Batched hardened query: mean + p90 quantile + iqr, 0.2 ε each.
+    let batch = |seed: u64| {
+        query_body(
+            "salaries",
+            seed,
+            false,
+            &[
+                ("mean", 0.2, None),
+                ("quantile", 0.2, Some(0.9)),
+                ("iqr", 0.2, None),
+            ],
+        )
+    };
+    let first = client.query(&batch(7)).unwrap();
+    let repeat = client.query(&batch(7)).unwrap();
+    // Bit-identical released values for the same request seed.
+    assert_eq!(results_of(&first), results_of(&repeat));
+    // A different seed draws different noise.
+    let other = client.query(&batch(8)).unwrap();
+    assert_ne!(results_of(&first), results_of(&other));
+
+    // All three results released, each on the snapping grid, each
+    // charged more than its nominal ε (hardened inflation).
+    let doc = JsonValue::parse(&first).unwrap();
+    let results = doc
+        .as_object("response")
+        .unwrap()
+        .get_array("results")
+        .unwrap()
+        .to_vec();
+    assert_eq!(results.len(), 3);
+    for result in &results {
+        let result = result.as_object("result").unwrap();
+        let values = result.get_array("values").unwrap();
+        let release = result.get("release").unwrap().as_object("release").unwrap();
+        assert!(release.get_bool("snapped").unwrap());
+        let lambdas = release.get_array("lambdas").unwrap();
+        for (value, lambda) in values.iter().zip(lambdas) {
+            let value = value.as_f64("value").unwrap();
+            let lambda = lambda.as_f64("lambda").unwrap();
+            let k = value / lambda;
+            assert!((k - k.round()).abs() < 1e-9, "{value} not on grid {lambda}");
+        }
+        assert!(result.get_f64("epsilon_charged").unwrap() > 0.2);
+    }
+
+    // Three batches × 0.6+ε spent ⇒ ~1.8+; a fourth 0.6 batch must be
+    // refused wholesale (HTTP 403, structured per-query errors).
+    let refusal = client.query(&batch(9));
+    let Err(ClientError::Status { status, body }) = refusal else {
+        panic!("expected starved refusal, got {refusal:?}");
+    };
+    assert_eq!(status, 403);
+    assert!(body.contains("budget_exhausted"), "{body}");
+
+    // Restart the server over the same ledger snapshot.
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let (addr, server) = start(Ledger::open(&ledger_path).expect("reopen ledger"));
+    let mut client = Connection::open(&addr).expect("reconnect");
+
+    // Re-registering the same name must resume the spent ledger —
+    // restarts cannot replay budget.
+    let body = client.register("salaries", 2.0, &gaussian(5_000)).unwrap();
+    let doc = JsonValue::parse(&body).unwrap();
+    let budget = doc
+        .as_object("register response")
+        .unwrap()
+        .get("budget")
+        .unwrap()
+        .as_object("budget")
+        .unwrap();
+    assert!(
+        budget.get_f64("spent").unwrap() > 1.8,
+        "restart restored spent budget: {body}"
+    );
+    let refusal = client.query(&batch(10));
+    assert!(
+        matches!(refusal, Err(ClientError::Status { status: 403, .. })),
+        "query after restart should still be starved: {refusal:?}"
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&ledger_path);
+}
+
+#[test]
+fn raw_mode_and_dataset_lifecycle() {
+    let (addr, server) = start(Ledger::in_memory());
+    let mut client = Connection::open(&addr).expect("connect");
+
+    client.register("d", 10.0, &gaussian(2_000)).unwrap();
+
+    // Raw mode: un-snapped values, exactly the nominal ε charged.
+    let body = client
+        .query(&query_body("d", 3, true, &[("mean", 0.5, None)]))
+        .unwrap();
+    let doc = JsonValue::parse(&body).unwrap();
+    let results = doc
+        .as_object("response")
+        .unwrap()
+        .get_array("results")
+        .unwrap()
+        .to_vec();
+    let result = results[0].as_object("result").unwrap();
+    assert_eq!(result.get_f64("epsilon_charged").unwrap(), 0.5);
+    let release = result.get("release").unwrap().as_object("release").unwrap();
+    assert!(!release.get_bool("snapped").unwrap());
+
+    // Append then list reflects the new count and the spent budget.
+    let body = client
+        .request(
+            "POST",
+            "/v1/append",
+            r#"{"name":"d","data":[50.1,49.9,50.0]}"#,
+        )
+        .unwrap();
+    assert!(body.contains("2003"), "{body}");
+    let listing = client.request("GET", "/v1/datasets", "").unwrap();
+    assert!(listing.contains("\"records\":2003"), "{listing}");
+
+    // Drop removes the data but a re-register cannot mint budget: the
+    // ledger entry survives with its spend, and even a bigger
+    // requested budget is ignored — the first registration pinned it.
+    client
+        .request("POST", "/v1/drop", r#"{"name":"d"}"#)
+        .unwrap();
+    let err = client.query(&query_body("d", 4, true, &[("mean", 0.1, None)]));
+    assert!(matches!(err, Err(ClientError::Status { status: 404, .. })));
+    let body = client.register("d", 1e9, &gaussian(2_000)).unwrap();
+    assert!(body.contains("\"spent\":0.5"), "{body}");
+    assert!(
+        body.contains("\"total\":10"),
+        "re-register raised the pinned budget: {body}"
+    );
+
+    // Unknown routes 404, wrong methods 405, garbage bodies 400.
+    let (status, _) = client.request_raw("GET", "/v1/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request_raw("GET", "/v1/query", "").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client
+        .request_raw("POST", "/v1/query", "{ not json")
+        .unwrap();
+    assert_eq!(status, 400);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_completes_despite_an_idle_keep_alive_connection() {
+    // An idle client must not pin the server process alive after
+    // shutdown: the per-connection read timeout polls the shutdown
+    // flag. If that mechanism breaks, this test hangs (and the
+    // harness timeout flags it) instead of passing slowly.
+    let (addr, server) = start(Ledger::in_memory());
+    let _idler = Connection::open(&addr).expect("idle connection");
+    let mut client = Connection::open(&addr).expect("connect");
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_one_budget_safely() {
+    // 8 client threads race 40 queries of ε = 0.05 against a budget
+    // of 1.0: exactly 20 can be granted. The refusal *count* is
+    // deterministic even though which thread wins each grant is not.
+    let (addr, server) = start(Ledger::in_memory());
+    let mut setup = Connection::open(&addr).expect("connect");
+    setup.register("hot", 1.0, &gaussian(2_000)).unwrap();
+
+    let granted: usize = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let handles: Vec<_> = (0..8)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut client = Connection::open(addr).expect("connect");
+                    (0..5)
+                        .filter(|i| {
+                            client
+                                .query(&query_body(
+                                    "hot",
+                                    (worker * 5 + i) as u64,
+                                    true,
+                                    &[("mean", 0.05, None)],
+                                ))
+                                .is_ok()
+                        })
+                        .count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(granted, 20, "grant count must be deterministic");
+
+    setup.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
