@@ -20,6 +20,7 @@ use updp_core::clipped_mean::clip;
 use updp_core::error::{ensure_finite, ensure_nonempty, Result, UpdpError};
 use updp_core::laplace::sample_laplace;
 use updp_core::privacy::Epsilon;
+use updp_empirical::view::ColumnView;
 
 /// The m-trimmed mean of sorted data: average of `X_{m+1}, …, X_{n−m}`.
 fn trimmed_mean(sorted: &[f64], m: usize) -> f64 {
@@ -70,6 +71,23 @@ pub fn bs19_trimmed_mean<R: Rng + ?Sized>(
     trim_frac: f64,
     epsilon: Epsilon,
 ) -> Result<f64> {
+    bs19_trimmed_mean_view(rng, &ColumnView::bare(data), r, trim_frac, epsilon)
+}
+
+/// [`bs19_trimmed_mean`] over a [`ColumnView`]: the sorted copy comes
+/// from the view (cached by serving snapshots), and clipping is
+/// applied to the sorted sequence. Clipping to `[−r, r]` is monotone
+/// under `total_cmp`, so `clip(sort(D))` and the historical
+/// `sort(clip(D))` are the *same* sequence — outputs are bit-identical
+/// for the same seed.
+pub fn bs19_trimmed_mean_view<R: Rng + ?Sized>(
+    rng: &mut R,
+    view: &ColumnView<'_>,
+    r: f64,
+    trim_frac: f64,
+    epsilon: Epsilon,
+) -> Result<f64> {
+    let data = view.data();
     ensure_nonempty(data)?;
     ensure_finite(data, "bs19_trimmed_mean input")?;
     if !(r.is_finite() && r > 0.0) {
@@ -93,8 +111,7 @@ pub fn bs19_trimmed_mean<R: Rng + ?Sized>(
             context: "BS19 trimming",
         });
     }
-    let mut sorted: Vec<f64> = data.iter().map(|&x| clip(x, -r, r)).collect();
-    sorted.sort_by(f64::total_cmp);
+    let sorted: Vec<f64> = view.sorted().iter().map(|&x| clip(x, -r, r)).collect();
     let mean = trimmed_mean(&sorted, m);
     let beta_smooth = epsilon.get() / 2.0;
     let s = smooth_sensitivity(&sorted, m, beta_smooth, r);
@@ -161,5 +178,28 @@ mod tests {
         assert!(bs19_trimmed_mean(&mut rng, &data, 0.0, 0.05, eps(1.0)).is_err());
         assert!(bs19_trimmed_mean(&mut rng, &data, 1.0, 0.6, eps(1.0)).is_err());
         assert!(bs19_trimmed_mean(&mut rng, &[1.0, 2.0], 1.0, 0.4, eps(1.0)).is_err());
+    }
+
+    #[test]
+    fn clip_of_sorted_equals_sort_of_clipped() {
+        // The view-based path clips the sorted copy; the historical
+        // path sorted the clipped copy. Clipping is monotone under
+        // total_cmp, so the sequences must match bit for bit — pin it
+        // on data with signed zeros, duplicates, and out-of-range
+        // values on both sides.
+        let data = [3.5, -9.0, 0.0, -0.0, 9.0, 2.0, -2.0, 2.0, -9.0, 1e-300];
+        for r in [1.0, 2.5, 100.0] {
+            let historical: Vec<u64> = {
+                let mut v: Vec<f64> = data.iter().map(|&x| clip(x, -r, r)).collect();
+                v.sort_by(f64::total_cmp);
+                v.into_iter().map(f64::to_bits).collect()
+            };
+            let view_path: Vec<u64> = ColumnView::bare(&data)
+                .sorted()
+                .iter()
+                .map(|&x| clip(x, -r, r).to_bits())
+                .collect();
+            assert_eq!(view_path, historical, "r = {r}");
+        }
     }
 }

@@ -20,6 +20,7 @@ use rand::Rng;
 use updp_core::error::{ensure_finite, ensure_nonempty, Result, UpdpError};
 use updp_core::laplace::sample_laplace;
 use updp_core::privacy::{Delta, Epsilon};
+use updp_empirical::view::ColumnView;
 
 /// Outcome of the propose-test-release IQR.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +75,19 @@ pub fn dl09_iqr<R: Rng + ?Sized>(
     epsilon: Epsilon,
     delta: Delta,
 ) -> Result<Dl09Iqr> {
+    dl09_iqr_view(rng, &ColumnView::bare(data), epsilon, delta)
+}
+
+/// [`dl09_iqr`] over a [`ColumnView`]: the `total_cmp`-sorted copy
+/// comes from the view (cached by serving snapshots), everything else
+/// is identical — bit-identical outputs for the same seed.
+pub fn dl09_iqr_view<R: Rng + ?Sized>(
+    rng: &mut R,
+    view: &ColumnView<'_>,
+    epsilon: Epsilon,
+    delta: Delta,
+) -> Result<Dl09Iqr> {
+    let data = view.data();
     ensure_nonempty(data)?;
     ensure_finite(data, "dl09_iqr input")?;
     if delta.is_pure() {
@@ -90,8 +104,7 @@ pub fn dl09_iqr<R: Rng + ?Sized>(
             context: "DL09 IQR",
         });
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    let sorted = view.sorted();
     let q1 = sorted[(n / 4).max(1) - 1];
     let q3 = sorted[(3 * n / 4).max(1) - 1];
     let iqr = q3 - q1;
@@ -111,7 +124,7 @@ pub fn dl09_iqr<R: Rng + ?Sized>(
         let idx = (iqr.ln() / cell - offset).floor();
         let lo = (idx + offset) * cell;
         let hi = lo + cell;
-        let d = stability_distance(&sorted, lo, hi);
+        let d = stability_distance(&sorted[..], lo, hi);
         let noisy = d as f64 + sample_laplace(rng, 1.0 / epsilon.get());
         if noisy > threshold {
             return Ok(Dl09Iqr {

@@ -7,6 +7,7 @@
 //! Gaussian).
 
 use updp_core::error::{ensure_finite, ensure_nonempty, Result};
+use updp_empirical::view::ColumnView;
 
 /// The sample mean `μ(D) = (1/n) Σ Xᵢ`.
 pub fn sample_mean(data: &[f64]) -> Result<f64> {
@@ -29,10 +30,16 @@ pub fn sample_variance(data: &[f64]) -> Result<f64> {
 /// The sample IQR `X_{3n/4} − X_{n/4}` (1-based order statistics, the
 /// paper's indexing).
 pub fn sample_iqr(data: &[f64]) -> Result<f64> {
+    sample_iqr_view(&ColumnView::bare(data))
+}
+
+/// [`sample_iqr`] over a [`ColumnView`] (the sorted copy comes from
+/// the view; identical values).
+pub fn sample_iqr_view(view: &ColumnView<'_>) -> Result<f64> {
+    let data = view.data();
     ensure_nonempty(data)?;
     ensure_finite(data, "sample_iqr")?;
-    let mut sorted = data.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    let sorted = view.sorted();
     let n = sorted.len();
     let idx = |tau: usize| sorted[tau.clamp(1, n) - 1];
     Ok(idx(3 * n / 4) - idx(n / 4))

@@ -12,6 +12,7 @@
 //! | 5 `InfiniteDomainMean` | [`mean`] | Thm 3.3: error `O((γ/(εn))·log log γ)` — optimality ratio `O(ε⁻¹ log log γ)` |
 //! | 6 `InfiniteDomainQuantile` | [`quantile`] | Thm 3.5: rank error `O(ε⁻¹ log γ)` |
 //! | §3.5 real-domain wrappers | [`discretize`] | Thms 3.6–3.9 |
+//! | cached dataset views | [`view`] | `DataView`/`PreparedDataset` artifact caching (DESIGN.md §7) |
 //! | §1.1.1 private sum | [`sum`] | error `O((rad/ε)·log log rad)`, no domain bound `N` |
 //! | Thm 3.4 packing family | [`packing`] | `Ω(ε⁻¹ log log N)` ratio is necessary |
 //!
@@ -28,12 +29,16 @@ pub mod quantile;
 pub mod radius;
 pub mod range;
 pub mod sum;
+pub mod view;
 
 pub use dataset::SortedInts;
-pub use discretize::{real_mean, real_quantile, real_radius, real_range, Discretizer, RealRange};
+pub use discretize::{
+    real_mean, real_quantile, real_quantile_view, real_radius, real_range, Discretizer, RealRange,
+};
 pub use mean::{infinite_domain_mean, EmpiricalMeanResult};
 pub use packing::PackingFamily;
 pub use quantile::{infinite_domain_quantile, rank_error, QuantileResult};
 pub use radius::infinite_domain_radius;
 pub use range::{infinite_domain_range, IntRange};
 pub use sum::{infinite_domain_sum, SumResult};
+pub use view::{ColumnCache, ColumnView, DataView, PreparedDataset};

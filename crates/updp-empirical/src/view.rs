@@ -1,0 +1,438 @@
+//! Cached dataset views — the data layer behind the `Estimator` trait.
+//!
+//! The statistical estimators repeatedly derive the same artifacts from
+//! one dataset: a `total_cmp`-sorted copy of a column, and the sorted
+//! integer grid `round(x/b)` of the inverse-sensitivity path for a
+//! given bucket `b`. Serving workloads re-query the *same* registered
+//! dataset over and over, so recomputing those artifacts per query is a
+//! pure `O(n log n)` waste. This module provides:
+//!
+//! * [`ColumnCache`] — thread-safe, lazily-built artifacts of one
+//!   column (sorted copy once; one discretized [`SortedInts`] per
+//!   distinct bucket size);
+//! * [`DataView`] — a borrowed, possibly-cached view of a column-major
+//!   dataset, the data argument of
+//!   `updp_statistical::estimator::Estimator::estimate`;
+//! * [`PreparedDataset`] — an immutable snapshot owning columns *and*
+//!   caches, shared as `Arc<PreparedDataset>` by the serving registry;
+//!   `append` derives a **new** snapshot (fresh caches, bumped
+//!   version), so cached artifacts can never leak across data
+//!   versions.
+//!
+//! # Determinism contract (DESIGN.md §7)
+//!
+//! Cached artifacts are pure functions of the column contents — they
+//! consume **no randomness** — so feeding an estimator a cached
+//! artifact instead of a freshly computed one never changes the
+//! estimator's RNG draw sequence, and released values stay
+//! bit-identical to the uncached path. Artifacts that *do* depend on
+//! mechanism coins (the random pair-gap structure of Algorithm 7) are
+//! deliberately **not** cacheable here: reusing a pairing across
+//! queries would change every subsequent draw.
+
+use crate::dataset::SortedInts;
+use crate::discretize::Discretizer;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+use updp_core::error::Result;
+
+/// Lazily-built, thread-safe artifacts of one `f64` column.
+///
+/// Both artifacts are built at most once per cache (the grid: once per
+/// distinct bucket size) and shared as `Arc`s, so concurrent readers
+/// never block each other after the first build.
+#[derive(Debug, Default)]
+pub struct ColumnCache {
+    sorted: OnceLock<Arc<Vec<f64>>>,
+    grids: RwLock<HashMap<u64, Arc<SortedInts>>>,
+}
+
+impl ColumnCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ColumnCache::default()
+    }
+
+    /// Number of distinct bucket sizes with a cached grid (diagnostic).
+    pub fn cached_grids(&self) -> usize {
+        self.grids.read().unwrap().len()
+    }
+
+    fn sorted(&self, data: &[f64]) -> Arc<Vec<f64>> {
+        self.sorted
+            .get_or_init(|| {
+                let mut v = data.to_vec();
+                v.sort_by(f64::total_cmp);
+                Arc::new(v)
+            })
+            .clone()
+    }
+
+    fn grid(&self, data: &[f64], bucket: f64) -> Result<Arc<SortedInts>> {
+        let key = bucket.to_bits();
+        if let Some(hit) = self.grids.read().unwrap().get(&key) {
+            return Ok(hit.clone());
+        }
+        let grid = Arc::new(build_grid(
+            data,
+            Some(self.sorted(data).as_slice()),
+            bucket,
+        )?);
+        // Racing builders compute identical grids (the build is a pure
+        // function of the column and the bucket); first insert wins.
+        Ok(self
+            .grids
+            .write()
+            .unwrap()
+            .entry(key)
+            .or_insert(grid)
+            .clone())
+    }
+}
+
+/// Discretizes a column into its sorted integer grid.
+///
+/// When a `total_cmp`-sorted copy is available the mapping
+/// `x ↦ round(x/b)` is monotone, so the integer sequence is already
+/// sorted and the historical `O(n log n)` [`SortedInts::new`] sort is
+/// skipped — the result is the identical sorted multiset either way.
+/// On a mapping error the column is re-discretized in **data order**
+/// so the reported error (first offending element) matches
+/// [`Discretizer::discretize`] exactly.
+fn build_grid(data: &[f64], sorted: Option<&[f64]>, bucket: f64) -> Result<SortedInts> {
+    let disc = Discretizer::new(bucket)?;
+    match sorted {
+        Some(sorted) => {
+            let ints: Result<Vec<i64>> = sorted.iter().map(|&x| disc.to_int(x)).collect();
+            match ints {
+                Ok(ints) if !ints.is_empty() => SortedInts::from_sorted(ints),
+                // Empty or failed: delegate for the canonical error.
+                _ => disc.discretize(data),
+            }
+        }
+        None => disc.discretize(data),
+    }
+}
+
+/// One column of a [`DataView`]: the raw data plus an optional cache.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    data: &'a [f64],
+    cache: Option<&'a ColumnCache>,
+}
+
+impl<'a> ColumnView<'a> {
+    /// A cache-less view: every artifact is computed on demand.
+    pub fn bare(data: &'a [f64]) -> Self {
+        ColumnView { data, cache: None }
+    }
+
+    /// A view whose artifacts are cached in (and shared through)
+    /// `cache`. The caller must pair each cache with exactly one
+    /// column's contents for the cache's lifetime.
+    pub fn cached(data: &'a [f64], cache: &'a ColumnCache) -> Self {
+        ColumnView {
+            data,
+            cache: Some(cache),
+        }
+    }
+
+    /// The raw column in its original order.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `total_cmp`-sorted copy (cached when a cache is attached).
+    pub fn sorted(&self) -> Arc<Vec<f64>> {
+        match self.cache {
+            Some(cache) => cache.sorted(self.data),
+            None => {
+                let mut v = self.data.to_vec();
+                v.sort_by(f64::total_cmp);
+                Arc::new(v)
+            }
+        }
+    }
+
+    /// The sorted integer grid `round(x/bucket)` (cached per distinct
+    /// bucket when a cache is attached). Bit-identical to
+    /// `Discretizer::new(bucket)?.discretize(data)` in values *and*
+    /// error reporting.
+    pub fn grid(&self, bucket: f64) -> Result<Arc<SortedInts>> {
+        match self.cache {
+            Some(cache) => cache.grid(self.data, bucket),
+            None => Ok(Arc::new(build_grid(self.data, None, bucket)?)),
+        }
+    }
+
+    /// Number of distinct buckets with a cached grid (0 for bare
+    /// views) — a cache-effect diagnostic.
+    pub fn cached_grids(&self) -> usize {
+        self.cache.map_or(0, ColumnCache::cached_grids)
+    }
+
+    /// Whether a [`ColumnCache`] is attached (callers that benefit
+    /// from intra-call artifact reuse attach a throwaway cache when
+    /// this is false).
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+}
+
+/// A borrowed, possibly-cached view of a column-major dataset — the
+/// uniform data argument of the `Estimator` trait.
+#[derive(Debug, Clone)]
+pub struct DataView<'a> {
+    cols: Vec<ColumnView<'a>>,
+}
+
+impl<'a> DataView<'a> {
+    /// A dimension-1 view over a bare slice (no caching).
+    pub fn of(data: &'a [f64]) -> Self {
+        DataView {
+            cols: vec![ColumnView::bare(data)],
+        }
+    }
+
+    /// A multi-column view over bare column-major data (no caching).
+    pub fn of_columns(columns: &'a [Vec<f64>]) -> Self {
+        DataView {
+            cols: columns.iter().map(|c| ColumnView::bare(c)).collect(),
+        }
+    }
+
+    /// A view from explicit column views (used by [`PreparedDataset`]).
+    pub fn from_views(cols: Vec<ColumnView<'a>>) -> Self {
+        DataView { cols }
+    }
+
+    /// Record dimension (number of columns).
+    pub fn dim(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of records (length of the first column).
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, |c| c.len())
+    }
+
+    /// Whether the view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th column view.
+    ///
+    /// # Panics
+    /// If `i` is out of range; estimator arity is validated by callers
+    /// before estimation (see `Estimator::multi_column`).
+    pub fn col(&self, i: usize) -> &ColumnView<'a> {
+        &self.cols[i]
+    }
+
+    /// All column views.
+    pub fn cols(&self) -> &[ColumnView<'a>] {
+        &self.cols
+    }
+}
+
+/// An immutable, shareable snapshot of a dataset: the columns plus
+/// their artifact caches, stamped with a version.
+///
+/// The serving registry stores `Arc<PreparedDataset>`; queries clone
+/// the `Arc` and estimate without holding any registry lock. Mutation
+/// is copy-on-write: [`PreparedDataset::append`] builds a **new**
+/// snapshot with fresh (empty) caches and `version + 1`, so a cached
+/// sorted copy or grid can never describe stale data.
+#[derive(Debug)]
+pub struct PreparedDataset {
+    columns: Vec<Vec<f64>>,
+    caches: Vec<ColumnCache>,
+    version: u64,
+}
+
+impl PreparedDataset {
+    /// Wraps column-major data as version-0 snapshot.
+    pub fn new(columns: Vec<Vec<f64>>) -> Self {
+        let caches = columns.iter().map(|_| ColumnCache::new()).collect();
+        PreparedDataset {
+            columns,
+            caches,
+            version: 0,
+        }
+    }
+
+    /// Record dimension.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The snapshot version (0 at registration, +1 per append).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The raw column-major data.
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// A cached view over all columns.
+    pub fn view(&self) -> DataView<'_> {
+        DataView::from_views(
+            self.columns
+                .iter()
+                .zip(&self.caches)
+                .map(|(data, cache)| ColumnView::cached(data, cache))
+                .collect(),
+        )
+    }
+
+    /// A cached view of one column (panics if out of range).
+    pub fn column_view(&self, i: usize) -> ColumnView<'_> {
+        ColumnView::cached(&self.columns[i], &self.caches[i])
+    }
+
+    /// Derives the post-append snapshot: `extra` columns (same
+    /// dimension, validated by the caller) concatenated onto copies of
+    /// the current columns, with fresh caches and a bumped version.
+    pub fn append(&self, extra: &[Vec<f64>]) -> PreparedDataset {
+        debug_assert_eq!(extra.len(), self.columns.len());
+        let columns: Vec<Vec<f64>> = self
+            .columns
+            .iter()
+            .zip(extra)
+            .map(|(old, new)| {
+                let mut merged = Vec::with_capacity(old.len() + new.len());
+                merged.extend_from_slice(old);
+                merged.extend_from_slice(new);
+                merged
+            })
+            .collect();
+        let caches = columns.iter().map(|_| ColumnCache::new()).collect();
+        PreparedDataset {
+            columns,
+            caches,
+            version: self.version + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_is_cached_and_correct() {
+        let cache = ColumnCache::new();
+        let data = [3.0, -1.0, 2.0, -0.0, 0.0];
+        let view = ColumnView::cached(&data, &cache);
+        let a = view.sorted();
+        let b = view.sorted();
+        assert!(Arc::ptr_eq(&a, &b), "sorted copy must be built once");
+        let mut reference = data.to_vec();
+        reference.sort_by(f64::total_cmp);
+        assert_eq!(a.as_slice(), reference.as_slice());
+        // Bare views compute fresh copies with identical contents.
+        let bare = ColumnView::bare(&data).sorted();
+        assert_eq!(bare.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn grid_matches_discretize_and_is_cached_per_bucket() {
+        let cache = ColumnCache::new();
+        let data: Vec<f64> = (0..500).map(|i| (i as f64) * 0.377 - 90.0).collect();
+        let view = ColumnView::cached(&data, &cache);
+        for bucket in [0.1, 0.25, 1.0] {
+            let grid = view.grid(bucket).unwrap();
+            let reference = Discretizer::new(bucket).unwrap().discretize(&data).unwrap();
+            assert_eq!(*grid, reference, "bucket {bucket}");
+            let again = view.grid(bucket).unwrap();
+            assert!(Arc::ptr_eq(&grid, &again), "grid must be cached");
+        }
+        assert_eq!(cache.cached_grids(), 3);
+        // Bare path agrees too.
+        let bare = ColumnView::bare(&data).grid(0.1).unwrap();
+        assert_eq!(
+            *bare,
+            Discretizer::new(0.1).unwrap().discretize(&data).unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_error_matches_discretize_error() {
+        // Overflowing bucket: the cached path must report the same
+        // canonical (data-order) error as Discretizer::discretize.
+        let data = [1e10, 2.0];
+        let cache = ColumnCache::new();
+        let view = ColumnView::cached(&data, &cache);
+        let err = format!("{}", view.grid(1e-300).unwrap_err());
+        let reference = format!(
+            "{}",
+            Discretizer::new(1e-300)
+                .unwrap()
+                .discretize(&data)
+                .unwrap_err()
+        );
+        assert_eq!(err, reference);
+        // Invalid bucket errors pass through as well.
+        assert!(view.grid(0.0).is_err());
+        assert!(ColumnView::bare(&data).grid(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn prepared_dataset_append_invalidates_caches() {
+        let prepared = PreparedDataset::new(vec![vec![5.0, 1.0, 3.0]]);
+        assert_eq!(prepared.version(), 0);
+        let view = prepared.view();
+        let sorted = view.col(0).sorted();
+        assert_eq!(sorted.as_slice(), &[1.0, 3.0, 5.0]);
+        let _ = view.col(0).grid(1.0).unwrap();
+
+        let next = prepared.append(&[vec![9.0, 7.0]]);
+        assert_eq!(next.version(), 1);
+        assert_eq!(next.len(), 5);
+        assert_eq!(next.columns()[0], vec![5.0, 1.0, 3.0, 9.0, 7.0]);
+        // Fresh caches: the new sorted copy sees the appended rows.
+        let new_sorted = next.view().col(0).sorted();
+        assert_eq!(new_sorted.as_slice(), &[1.0, 3.0, 5.0, 7.0, 9.0]);
+        // The old snapshot is untouched (readers mid-query are safe).
+        assert_eq!(prepared.len(), 3);
+        assert_eq!(prepared.view().col(0).sorted().as_slice(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn data_view_shapes() {
+        let columns = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let view = DataView::of_columns(&columns);
+        assert_eq!(view.dim(), 2);
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.col(1).data(), &[3.0, 4.0]);
+
+        let single = [7.0];
+        let view = DataView::of(&single);
+        assert_eq!(view.dim(), 1);
+        assert_eq!(view.len(), 1);
+    }
+}

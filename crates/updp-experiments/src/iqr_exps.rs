@@ -4,11 +4,11 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::{fmt_err, run_trials, trial_map};
-use updp_baselines::{dl09_iqr, sample_iqr};
+use crate::trial::{estimator_trials, fmt_err, trial_map};
+use updp_baselines::{Dl09Estimator, NonPrivateIqr};
 use updp_core::privacy::{Delta, Epsilon};
 use updp_dist::{Cauchy, ContinuousDistribution, Gaussian, GaussianMixture, LogNormal, Uniform};
-use updp_statistical::{estimate_iqr, estimate_iqr_lower_bound};
+use updp_statistical::{estimate_iqr_lower_bound, EstimateParams, UniversalIqr};
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
@@ -112,17 +112,31 @@ pub fn iqr(cfg: &ExpConfig) -> Table {
         for (ni, &n_full) in [1_000usize, 10_000, 100_000].iter().enumerate() {
             let n = cfg.n(n_full);
             let m = master.wrapping_add((di * 10 + ni) as u64 * 7127);
-            let ours = run_trials(cfg.trials, m, truth, |rng| {
-                let data = d.sample_vec(rng, n);
-                estimate_iqr(rng, &data, e, 0.1).map(|r| r.estimate)
-            });
-            let dl = run_trials(cfg.trials, m ^ 1, truth, |rng| {
-                let data = d.sample_vec(rng, n);
-                dl09_iqr(rng, &data, e, delta).map(|r| r.estimate)
-            });
-            let np = run_trials(cfg.trials, m ^ 2, truth, |rng| {
-                sample_iqr(&d.sample_vec(rng, n))
-            });
+            let sample = |rng: &mut rand::rngs::StdRng| d.sample_vec(rng, n);
+            let ours = estimator_trials(
+                cfg.trials,
+                m,
+                truth,
+                &UniversalIqr,
+                &EstimateParams::new(e).with_beta(0.1),
+                sample,
+            );
+            let dl = estimator_trials(
+                cfg.trials,
+                m ^ 1,
+                truth,
+                &Dl09Estimator,
+                &EstimateParams::new(e).with("delta", delta.get()),
+                sample,
+            );
+            let np = estimator_trials(
+                cfg.trials,
+                m ^ 2,
+                truth,
+                &NonPrivateIqr,
+                &EstimateParams::new(e),
+                sample,
+            );
             t.push_row(vec![
                 label.clone(),
                 n.to_string(),

@@ -6,28 +6,31 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::{fmt_err, run_trials, ErrorStats};
+use crate::trial::{estimator_trials, fmt_err, run_trials, ErrorStats};
 use updp_baselines::{
-    bs19_trimmed_mean, coinpress_mean, ksu20_mean, kv18_gaussian_mean, naive_clipped_mean,
-    sample_mean, sample_midrange,
+    sample_mean, sample_midrange, Bs19TrimmedMean, CoinPressMean, Ksu20Mean, Kv18Mean,
+    NaiveClipMean, NonPrivateMean,
 };
 use updp_core::privacy::Epsilon;
 use updp_dist::{Affine, ContinuousDistribution, Gaussian, Pareto, StudentT, Uniform};
-use updp_statistical::estimate_mean;
+use updp_statistical::{EstimateParams, Estimator, UniversalMean};
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
 }
 
-fn stats_for<D, F>(cfg: &ExpConfig, dist: &D, n: usize, master: u64, est: F) -> ErrorStats
-where
-    D: ContinuousDistribution,
-    F: Fn(&mut rand::rngs::StdRng, &[f64]) -> updp_core::error::Result<f64> + Sync,
-{
-    let truth = dist.mean();
-    run_trials(cfg.trials, master, truth, |rng| {
-        let data = dist.sample_vec(rng, n);
-        est(rng, &data)
+/// Trial sweep of one trait-dispatched estimator on fresh samples of
+/// `dist` — the single helper every mean experiment routes through.
+fn stats_for(
+    cfg: &ExpConfig,
+    dist: &dyn ContinuousDistribution,
+    n: usize,
+    master: u64,
+    estimator: &dyn Estimator,
+    params: &EstimateParams,
+) -> ErrorStats {
+    estimator_trials(cfg.trials, master, dist.mean(), estimator, params, |rng| {
+        dist.sample_vec(rng, n)
     })
 }
 
@@ -91,28 +94,54 @@ pub fn table1(cfg: &ExpConfig) -> Table {
     for (si, sc) in scenarios.iter().enumerate() {
         let m = master.wrapping_add(si as u64 * 7919);
         let d = sc.dist.as_ref();
-        let truth = d.mean();
         let sigma_ref = d.std_dev();
-        let ours = run_trials(cfg.trials, m, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            estimate_mean(rng, &data, e, 0.1).map(|r| r.estimate)
-        });
-        let naive = run_trials(cfg.trials, m ^ 1, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            naive_clipped_mean(rng, &data, sc.r, e)
-        });
-        let kv = run_trials(cfg.trials, m ^ 2, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            kv18_gaussian_mean(rng, &data, sc.r, sc.smin, sc.smax, e)
-        });
-        let cp = run_trials(cfg.trials, m ^ 3, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            coinpress_mean(rng, &data, sc.r, sc.smax, e, 4)
-        });
-        let bs = run_trials(cfg.trials, m ^ 4, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            bs19_trimmed_mean(rng, &data, sc.r, 0.05, e)
-        });
+        let ours = stats_for(
+            cfg,
+            d,
+            n,
+            m,
+            &UniversalMean,
+            &EstimateParams::new(e).with_beta(0.1),
+        );
+        let naive = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 1,
+            &NaiveClipMean,
+            &EstimateParams::new(e).with("r", sc.r),
+        );
+        let kv = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 2,
+            &Kv18Mean,
+            &EstimateParams::new(e)
+                .with("r", sc.r)
+                .with("sigma_min", sc.smin)
+                .with("sigma_max", sc.smax),
+        );
+        let cp = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 3,
+            &CoinPressMean,
+            &EstimateParams::new(e)
+                .with("r", sc.r)
+                .with("sigma", sc.smax),
+        );
+        let bs = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 4,
+            &Bs19TrimmedMean,
+            &EstimateParams::new(e)
+                .with("r", sc.r)
+                .with("trim_frac", 0.05),
+        );
         // Verdict: FAIL when the median error is >10x ours and >1σ.
         let verdict = |s: &ErrorStats| -> String {
             if s.median.is_nan() {
@@ -176,19 +205,29 @@ pub fn gauss_mean(cfg: &ExpConfig) -> Table {
     for (ni, &n_full) in [2_000usize, 8_000, 32_000, 128_000].iter().enumerate() {
         let n = cfg.n(n_full);
         let m = master.wrapping_add(ni as u64 * 104729);
-        let ours = stats_for(cfg, &g, n, m, |rng, d| {
-            estimate_mean(rng, d, e, 0.1).map(|r| r.estimate)
-        });
-        let kv = stats_for(cfg, &g, n, m ^ 1, |rng, d| {
-            kv18_gaussian_mean(rng, d, 1e4, 0.01, 1e3, e)
-        });
-        let cp = stats_for(cfg, &g, n, m ^ 2, |rng, d| {
-            coinpress_mean(rng, d, 1e4, 2.0, e, 4)
-        });
-        let np = stats_for(cfg, &g, n, m ^ 3, |_rng, d| sample_mean(d));
-        let ours_far = stats_for(cfg, &far, n, m ^ 4, |rng, d| {
-            estimate_mean(rng, d, e, 0.1).map(|r| r.estimate)
-        });
+        let universal = EstimateParams::new(e).with_beta(0.1);
+        let ours = stats_for(cfg, &g, n, m, &UniversalMean, &universal);
+        let kv = stats_for(
+            cfg,
+            &g,
+            n,
+            m ^ 1,
+            &Kv18Mean,
+            &EstimateParams::new(e)
+                .with("r", 1e4)
+                .with("sigma_min", 0.01)
+                .with("sigma_max", 1e3),
+        );
+        let cp = stats_for(
+            cfg,
+            &g,
+            n,
+            m ^ 2,
+            &CoinPressMean,
+            &EstimateParams::new(e).with("r", 1e4).with("sigma", 2.0),
+        );
+        let np = stats_for(cfg, &g, n, m ^ 3, &NonPrivateMean, &EstimateParams::new(e));
+        let ours_far = stats_for(cfg, &far, n, m ^ 4, &UniversalMean, &universal);
         t.push_row(vec![
             n.to_string(),
             fmt_err(ours.median),
@@ -240,23 +279,31 @@ pub fn heavy_mean(cfg: &ExpConfig) -> Table {
         let d = dist.as_ref();
         let m = master.wrapping_add(di as u64 * 31337);
         let mu2 = d.central_moment(2);
-        let truth = d.mean();
-        let ours = run_trials(cfg.trials, m, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            estimate_mean(rng, &data, e, 0.1).map(|r| r.estimate)
-        });
+        let ours = stats_for(
+            cfg,
+            d,
+            n,
+            m,
+            &UniversalMean,
+            &EstimateParams::new(e).with_beta(0.1),
+        );
         let ksu = |factor: f64, salt: u64| {
-            run_trials(cfg.trials, m ^ salt, truth, |rng| {
-                let data = d.sample_vec(rng, n);
-                ksu20_mean(rng, &data, 1e4, 2, mu2 * factor, e)
-            })
+            stats_for(
+                cfg,
+                d,
+                n,
+                m ^ salt,
+                &Ksu20Mean,
+                &EstimateParams::new(e)
+                    .with("r", 1e4)
+                    .with("k", 2.0)
+                    .with("mu_k_bound", mu2 * factor),
+            )
         };
         let honest = ksu(1.0, 1);
         let k3 = ksu(1e3, 2);
         let k6 = ksu(1e6, 3);
-        let np = run_trials(cfg.trials, m ^ 4, truth, |rng| {
-            sample_mean(&d.sample_vec(rng, n))
-        });
+        let np = stats_for(cfg, d, n, m ^ 4, &NonPrivateMean, &EstimateParams::new(e));
         t.push_row(vec![
             label.clone(),
             fmt_err(ours.median),
@@ -303,23 +350,37 @@ pub fn arb_mean(cfg: &ExpConfig) -> Table {
     for (di, (label, dist)) in dists.iter().enumerate() {
         let d = dist.as_ref();
         let m = master.wrapping_add(di as u64 * 997);
-        let truth = d.mean();
         let mu2 = d.central_moment(2);
-        let ours = run_trials(cfg.trials, m, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            estimate_mean(rng, &data, e, 0.1).map(|r| r.estimate)
-        });
-        let bs = run_trials(cfg.trials, m ^ 1, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            bs19_trimmed_mean(rng, &data, 1e4, 0.05, e)
-        });
-        let ksu = run_trials(cfg.trials, m ^ 2, truth, |rng| {
-            let data = d.sample_vec(rng, n);
-            ksu20_mean(rng, &data, 1e4, 2, mu2, e)
-        });
-        let np = run_trials(cfg.trials, m ^ 3, truth, |rng| {
-            sample_mean(&d.sample_vec(rng, n))
-        });
+        let ours = stats_for(
+            cfg,
+            d,
+            n,
+            m,
+            &UniversalMean,
+            &EstimateParams::new(e).with_beta(0.1),
+        );
+        let bs = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 1,
+            &Bs19TrimmedMean,
+            &EstimateParams::new(e)
+                .with("r", 1e4)
+                .with("trim_frac", 0.05),
+        );
+        let ksu = stats_for(
+            cfg,
+            d,
+            n,
+            m ^ 2,
+            &Ksu20Mean,
+            &EstimateParams::new(e)
+                .with("r", 1e4)
+                .with("k", 2.0)
+                .with("mu_k_bound", mu2),
+        );
+        let np = stats_for(cfg, d, n, m ^ 3, &NonPrivateMean, &EstimateParams::new(e));
         t.push_row(vec![
             label.clone(),
             fmt_err(ours.median),

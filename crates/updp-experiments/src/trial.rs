@@ -18,6 +18,7 @@ use serde::Serialize;
 use updp_core::error::Result;
 use updp_core::parallel::par_map_indexed;
 use updp_core::rng::{child_seed, seeded};
+use updp_statistical::{DataView, EstimateParams, Estimator};
 
 /// Robust summary of absolute errors over repeated trials.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -85,6 +86,35 @@ where
         }
     }
     summarize(errors, trials, failures)
+}
+
+/// Runs `trials` independent executions of an [`Estimator`] (the
+/// workspace-wide trait — universal estimators and Table 1 baselines
+/// alike), sampling a fresh dataset per trial with `sample`, and
+/// summarizes the absolute errors against `truth`.
+///
+/// This replaces the per-experiment closure glue: experiments name an
+/// estimator and its [`EstimateParams`] instead of hand-wiring each
+/// free function. Trait dispatch is bit-identical to the direct free
+/// function on the same seed (the equivalence suite pins this), so
+/// routing an experiment through here never changes its table.
+pub fn estimator_trials<F>(
+    trials: usize,
+    master: u64,
+    truth: f64,
+    estimator: &dyn Estimator,
+    params: &EstimateParams,
+    sample: F,
+) -> ErrorStats
+where
+    F: Fn(&mut rand::rngs::StdRng) -> Vec<f64> + Sync,
+{
+    run_trials(trials, master, truth, |rng| {
+        let data = sample(rng);
+        estimator
+            .estimate(rng, &DataView::of(&data), params)
+            .map(|release| release.primary())
+    })
 }
 
 /// Summarizes a raw error vector.

@@ -4,14 +4,34 @@
 
 use crate::config::ExpConfig;
 use crate::table::Table;
-use crate::trial::{fmt_err, run_trials};
-use updp_baselines::{coinpress_variance, kv18_gaussian_variance, sample_variance};
+use crate::trial::{estimator_trials, fmt_err, ErrorStats};
+use updp_baselines::{CoinPressVariance, Kv18Variance, NonPrivateVariance};
 use updp_core::privacy::Epsilon;
 use updp_dist::{ContinuousDistribution, Gaussian, LogNormal, Pareto, StudentT};
-use updp_statistical::estimate_variance;
+use updp_statistical::{EstimateParams, Estimator, UniversalVariance};
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
+}
+
+/// Trial sweep of one trait-dispatched estimator against the true
+/// variance of `dist`.
+fn stats_for(
+    cfg: &ExpConfig,
+    dist: &dyn ContinuousDistribution,
+    n: usize,
+    master: u64,
+    estimator: &dyn Estimator,
+    params: &EstimateParams,
+) -> ErrorStats {
+    estimator_trials(
+        cfg.trials,
+        master,
+        dist.variance(),
+        estimator,
+        params,
+        |rng| dist.sample_vec(rng, n),
+    )
 }
 
 /// `gauss-var` — Theorem 5.3: the universal estimator tracks σ across 12
@@ -39,22 +59,28 @@ pub fn gauss_var(cfg: &ExpConfig) -> Table {
         let g = Gaussian::new(0.0, sigma).unwrap();
         let truth = g.variance();
         let m = master.wrapping_add(si as u64 * 3571);
-        let rel = |s: crate::trial::ErrorStats| s.median / truth;
-        let ours = run_trials(cfg.trials, m, truth, |rng| {
-            let data = g.sample_vec(rng, n);
-            estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)
-        });
-        let kv = run_trials(cfg.trials, m ^ 1, truth, |rng| {
-            let data = g.sample_vec(rng, n);
-            kv18_gaussian_variance(rng, &data, smin, smax, e)
-        });
-        let cp = run_trials(cfg.trials, m ^ 2, truth, |rng| {
-            let data = g.sample_vec(rng, n);
-            coinpress_variance(rng, &data, smin, smax, e, 4)
-        });
-        let np = run_trials(cfg.trials, m ^ 3, truth, |rng| {
-            sample_variance(&g.sample_vec(rng, n))
-        });
+        let rel = |s: ErrorStats| s.median / truth;
+        let bounds = EstimateParams::new(e)
+            .with("sigma_min", smin)
+            .with("sigma_max", smax);
+        let ours = stats_for(
+            cfg,
+            &g,
+            n,
+            m,
+            &UniversalVariance,
+            &EstimateParams::new(e).with_beta(0.1),
+        );
+        let kv = stats_for(cfg, &g, n, m ^ 1, &Kv18Variance, &bounds);
+        let cp = stats_for(cfg, &g, n, m ^ 2, &CoinPressVariance, &bounds);
+        let np = stats_for(
+            cfg,
+            &g,
+            n,
+            m ^ 3,
+            &NonPrivateVariance,
+            &EstimateParams::new(e),
+        );
         t.push_row(vec![
             format!("{sigma:e}"),
             fmt_err(rel(ours)),
@@ -105,13 +131,22 @@ pub fn heavy_var(cfg: &ExpConfig) -> Table {
         for (ni, &n_full) in [8_000usize, 64_000].iter().enumerate() {
             let n = cfg.n(n_full);
             let m = master.wrapping_add((di * 10 + ni) as u64 * 6007);
-            let ours = run_trials(cfg.trials, m, truth, |rng| {
-                let data = d.sample_vec(rng, n);
-                estimate_variance(rng, &data, e, 0.1).map(|r| r.estimate)
-            });
-            let np = run_trials(cfg.trials, m ^ 1, truth, |rng| {
-                sample_variance(&d.sample_vec(rng, n))
-            });
+            let ours = stats_for(
+                cfg,
+                d,
+                n,
+                m,
+                &UniversalVariance,
+                &EstimateParams::new(e).with_beta(0.1),
+            );
+            let np = stats_for(
+                cfg,
+                d,
+                n,
+                m ^ 1,
+                &NonPrivateVariance,
+                &EstimateParams::new(e),
+            );
             t.push_row(vec![
                 label.clone(),
                 n.to_string(),

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…]
-//!         [--records N] [--out PATH] [--check]
+//!         [--records N] [--quantile-records N] [--out PATH] [--check]
 //! ```
 //!
 //! Without `--addr`, an in-process server is started on an ephemeral
@@ -13,6 +13,16 @@
 //! never starved), each issuing `--requests` hardened batch queries
 //! (mean + quantile(0.9) + iqr). Latency is per request, merged
 //! across connections; p50/p99 are nearest-rank.
+//!
+//! Two additional single-connection workloads measure the
+//! `PreparedDataset` cache win on repeated same-dataset quantile
+//! queries over `--quantile-records` rows:
+//! `repeat-quantile-cold` registers a **fresh** dataset before every
+//! request (so each query pays the full discretize-and-sort, the
+//! pre-cache behaviour), `repeat-quantile-warm` queries **one**
+//! dataset repeatedly (the cached grid absorbs the sort after the
+//! first hit). Cold vs warm p50/p99 in `BENCH_serve.json` is the
+//! before/after of the cache.
 //!
 //! `--check` is the CI smoke mode (mirroring `bench_baseline
 //! --check`): tiny run, then an assertion that the report
@@ -53,7 +63,7 @@ fn run_level(addr: &str, connections: usize, requests: usize, records: usize) ->
         }
     }
     let started = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|worker| {
                 scope.spawn(move || {
@@ -88,8 +98,13 @@ fn run_level(addr: &str, connections: usize, requests: usize, records: usize) ->
             .collect()
     });
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    summarize("batch", connections, latencies, wall_ms)
+}
+
+fn summarize(workload: &str, connections: usize, mut latencies: Vec<f64>, wall_ms: f64) -> LoadRun {
     latencies.sort_by(f64::total_cmp);
     LoadRun {
+        workload: workload.into(),
         connections,
         requests: latencies.len(),
         wall_ms,
@@ -99,11 +114,75 @@ fn run_level(addr: &str, connections: usize, requests: usize, records: usize) ->
     }
 }
 
+/// One repeated-quantile request (p90 at a tiny ε, hardened like the
+/// batch workload).
+fn quantile_query(dataset: &str, seed: u64) -> String {
+    query_body(dataset, seed, false, &[("quantile", 1e-3, Some(0.9))])
+}
+
+/// `repeat-quantile-cold`: a fresh dataset before every request, so
+/// every query discretizes and sorts from scratch — the pre-cache
+/// cost. Registration is setup, not timed.
+fn run_quantile_cold(addr: &str, requests: usize, records: usize) -> LoadRun {
+    let mut connection = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+    let mut latencies = Vec::with_capacity(requests);
+    let mut wall_ms = 0.0;
+    // Unique names per loadgen run: a 409-reused dataset from an
+    // earlier run against a long-lived server would already have a
+    // warm grid cache, silently turning "cold" latencies warm.
+    let run_tag = format!(
+        "{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    );
+    for i in 0..requests {
+        let name = format!("qcold-{run_tag}-{i}");
+        match connection.register(&name, 1e12, &gaussian(records, 1_000 + i as u64)) {
+            Ok(_) => {}
+            Err(e) => die(&format!("register {name}: {e}")),
+        }
+        let sent = Instant::now();
+        connection
+            .query(&quantile_query(&name, i as u64))
+            .unwrap_or_else(|e| die(&format!("query {name}: {e}")));
+        let elapsed = sent.elapsed().as_secs_f64() * 1e3;
+        latencies.push(elapsed);
+        wall_ms += elapsed;
+    }
+    // Wall excludes the untimed registrations: sum of query latencies.
+    summarize("repeat-quantile-cold", 1, latencies, wall_ms)
+}
+
+/// `repeat-quantile-warm`: one dataset queried `requests` times — the
+/// `PreparedDataset` grid cache absorbs the sort after the first hit.
+fn run_quantile_warm(addr: &str, requests: usize, records: usize) -> LoadRun {
+    let mut connection = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+    match connection.register("qwarm", 1e12, &gaussian(records, 0xC0FFEE)) {
+        Ok(_) | Err(updp_serve::client::ClientError::Status { status: 409, .. }) => {}
+        Err(e) => die(&format!("register qwarm: {e}")),
+    }
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let sent = Instant::now();
+        connection
+            .query(&quantile_query("qwarm", i as u64))
+            .unwrap_or_else(|e| die(&format!("query qwarm: {e}")));
+        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    summarize("repeat-quantile-warm", 1, latencies, wall_ms)
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut requests = 500usize;
     let mut connections = vec![1usize, 8];
     let mut records = 10_000usize;
+    let mut quantile_records = 100_000usize;
     let mut out_path = "BENCH_serve.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -130,15 +209,21 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("bad --records"))
             }
+            "--quantile-records" => {
+                quantile_records = value("--quantile-records")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --quantile-records"))
+            }
             "--out" => out_path = value("--out"),
             "--check" => check = true,
-            _ => die("usage: loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…] [--records N] [--out PATH] [--check]"),
+            _ => die("usage: loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…] [--records N] [--quantile-records N] [--out PATH] [--check]"),
         }
     }
     if check {
         requests = 5;
         connections = vec![1, 2];
         records = 2_000;
+        quantile_records = 2_000;
     }
 
     // Self-contained mode: host an in-process server.
@@ -158,22 +243,31 @@ fn main() {
     let host_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let runs: Vec<LoadRun> = connections
+    let mut runs: Vec<LoadRun> = connections
         .iter()
         .map(|&c| {
             eprintln!("loadgen: level c = {c} ({requests} requests/connection)");
             run_level(&addr, c, requests, records)
         })
         .collect();
+    // The cache-effect pair: cold pays the sort per request, warm
+    // reuses the snapshot's cached grid.
+    let q_requests = if check { 3 } else { requests.min(100) };
+    eprintln!(
+        "loadgen: repeat-quantile cold/warm ({q_requests} requests, {quantile_records} records)"
+    );
+    runs.push(run_quantile_cold(&addr, q_requests, quantile_records));
+    runs.push(run_quantile_warm(&addr, q_requests, quantile_records));
     let report = ServeReport {
         schema: SCHEMA.into(),
         host_threads,
         dataset_records: records,
+        quantile_records,
         runs,
         note: if check {
             "smoke mode (--check): numbers are not a baseline".into()
         } else {
-            format!("hardened batch (mean + p90 + iqr) per request; host_threads = {host_threads}")
+            format!("hardened batch (mean + p90 + iqr) per request; repeat-quantile cold = fresh dataset per request (pre-cache cost), warm = one dataset repeatedly (PreparedDataset grid cache); host_threads = {host_threads}")
         },
     };
 

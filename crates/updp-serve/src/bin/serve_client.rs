@@ -10,6 +10,8 @@
 //!   list
 //!   query    NAME --seed S [--raw] [--mean E] [--variance E]
 //!            [--quantile Q:E] [--iqr E] [--multi-mean E]
+//!            [--estimator NAME:E]... [--param k=v]...
+//!   estimators
 //!   shutdown
 //! ```
 //!
@@ -18,7 +20,7 @@
 //! the CI smoke step relies on a budget-exhausted query exiting
 //! nonzero).
 
-use updp_serve::client::{query_body, ClientError, Connection};
+use updp_serve::client::{query_body, query_body_named, ClientError, Connection, NamedQuery};
 
 fn die(message: &str) -> ! {
     eprintln!("serve-client: {message}");
@@ -164,11 +166,53 @@ fn main() {
             if let Some(eps) = args.f64_value("--multi-mean") {
                 queries.push(("multi-mean", eps, None));
             }
-            if queries.is_empty() {
-                die("query needs at least one of --mean/--variance/--quantile/--iqr/--multi-mean");
+            // Any catalog estimator by name: --estimator NAME:E with
+            // its parameters as repeated --param k=v (applied to every
+            // --estimator query in the request).
+            let mut named: Vec<(String, f64)> = Vec::new();
+            while let Some(spec) = args.value("--estimator") {
+                let (est, eps) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| die("--estimator needs NAME:E"));
+                named.push((
+                    est.to_string(),
+                    eps.parse().unwrap_or_else(|_| die("bad --estimator ε")),
+                ));
+            }
+            let mut params: Vec<(String, f64)> = Vec::new();
+            while let Some(kv) = args.value("--param") {
+                let (k, v) = kv
+                    .split_once('=')
+                    .unwrap_or_else(|| die("--param needs k=v"));
+                params.push((
+                    k.to_string(),
+                    v.parse().unwrap_or_else(|_| die("bad --param value")),
+                ));
+            }
+            if queries.is_empty() && named.is_empty() {
+                die("query needs at least one of --mean/--variance/--quantile/--iqr/--multi-mean/--estimator");
             }
             args.finish();
-            connection.query(&query_body(&name, seed, raw, &queries))
+            if named.is_empty() {
+                connection.query(&query_body(&name, seed, raw, &queries))
+            } else {
+                if !queries.is_empty() {
+                    die("mix of kind flags and --estimator is not supported; use --estimator for all");
+                }
+                let named: Vec<NamedQuery<'_>> = named
+                    .iter()
+                    .map(|(est, eps)| NamedQuery {
+                        estimator: est,
+                        epsilon: *eps,
+                        params: params.iter().map(|(k, v)| (k.as_str(), *v)).collect(),
+                    })
+                    .collect();
+                connection.query(&query_body_named(&name, seed, raw, &named))
+            }
+        }
+        "estimators" => {
+            args.finish();
+            connection.request("GET", "/v1/estimators", "")
         }
         "shutdown" => {
             args.finish();

@@ -140,3 +140,48 @@ pub fn query_body(
     ])
     .to_compact()
 }
+
+/// One named-estimator query for [`query_body_named`].
+#[derive(Debug, Clone)]
+pub struct NamedQuery<'a> {
+    /// Estimator registry name (`"mean"`, `"kv18"`, …).
+    pub estimator: &'a str,
+    /// Nominal ε.
+    pub epsilon: f64,
+    /// Estimator-specific parameters.
+    pub params: Vec<(&'a str, f64)>,
+}
+
+/// Builds a query body addressing estimators by catalog name with
+/// per-query `params` objects (the general wire shape).
+pub fn query_body_named(dataset: &str, seed: u64, raw: bool, queries: &[NamedQuery<'_>]) -> String {
+    let queries = queries
+        .iter()
+        .map(|query| {
+            let mut fields = vec![
+                ("estimator", query.estimator.into()),
+                ("epsilon", query.epsilon.into()),
+            ];
+            if !query.params.is_empty() {
+                fields.push((
+                    "params",
+                    JsonValue::object(
+                        query
+                            .params
+                            .iter()
+                            .map(|&(name, v)| (name, v.into()))
+                            .collect(),
+                    ),
+                ));
+            }
+            JsonValue::object(fields)
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("dataset", dataset.into()),
+        ("seed", (seed as f64).into()),
+        ("raw", raw.into()),
+        ("queries", JsonValue::Array(queries)),
+    ])
+    .to_compact()
+}

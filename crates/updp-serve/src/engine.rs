@@ -1,19 +1,28 @@
-//! The query engine: budgeted, deterministic, optionally hardened.
+//! The query engine: budgeted, deterministic, optionally hardened —
+//! dispatching any registered estimator **by name**.
 //!
 //! A batch request is a list of independent queries against one
-//! dataset plus a client seed. Execution is three deterministic
-//! phases:
+//! dataset plus a client seed. Each query names an estimator from the
+//! [`EstimatorCatalog`] — the five universal estimators *and* every
+//! Table 1 baseline (`"kv18"`, `"dl09"`, …, with their required
+//! assumptions echoed back in the response). Execution is three
+//! deterministic phases:
 //!
-//! 1. **Reserve** — in query order, each query's nominal ε is
-//!    atomically reserved in the [`crate::ledger::Ledger`]; refusals
-//!    are recorded and those queries never execute. Sequential
-//!    reservation makes the refusal pattern a pure function of the
-//!    ledger state and the request, independent of thread scheduling.
+//! 1. **Validate + Reserve** — estimator names are resolved and their
+//!    parameters validated *before any budget moves*; then, in query
+//!    order, each query's nominal ε is atomically reserved in the
+//!    [`crate::ledger::Ledger`]; refusals are recorded and those
+//!    queries never execute. Sequential reservation makes the refusal
+//!    pattern a pure function of the ledger state and the request,
+//!    independent of thread scheduling.
 //! 2. **Execute** — granted queries run concurrently through
-//!    [`updp_core::parallel::par_map_indexed`]; query `i` derives its
-//!    generator from `child_seed(request_seed, i)` (DESIGN.md §1.1),
-//!    so the response is bit-reproducible for a given seed at any
-//!    thread count.
+//!    [`updp_core::parallel::par_map_indexed`] against one
+//!    [`PreparedDataset`](updp_statistical::PreparedDataset) snapshot
+//!    (no registry lock is held during estimation; repeated queries
+//!    reuse its cached sorted/discretized artifacts); query `i`
+//!    derives its generator from `child_seed(request_seed, i)`
+//!    (DESIGN.md §1.1), so the response is bit-reproducible for a
+//!    given seed at any thread count.
 //! 3. **Settle** — in query order, hardened releases charge their
 //!    snapping ε inflation as a top-up (it depends on the privately
 //!    derived noise scale, so it is only known post-execution). A
@@ -23,21 +32,21 @@
 //! for experiment parity) routes every scalar release through
 //! [`updp_core::snapping::snapped_laplace_mechanism`]: the estimator
 //! runs at `0.9·ε`, the remaining `0.1·ε` pays for the snapped
-//! re-release whose sensitivity proxy is the estimator's own privately
-//! derived bucket scale, and the ledger is debited
-//! `0.9·ε + 0.1·ε·(1 + inflation)` per DESIGN.md §1.3/§6.
+//! re-release whose sensitivity proxy is the estimator's own
+//! [`Release::sensitivities`] entry (a privately derived or
+//! public-parameter scale — see the trait docs), and the ledger is
+//! debited `0.9·ε + 0.1·ε·(1 + inflation)` per DESIGN.md §1.3/§6.
 
 use crate::ledger::{Ledger, LedgerError, Refusal};
 use crate::registry::Dataset;
 use rand::rngs::StdRng;
+use std::collections::HashMap;
 use updp_core::parallel::par_map_indexed;
 use updp_core::privacy::Epsilon;
 use updp_core::rng::{child_seed, seeded};
 use updp_core::snapping::{snapped_laplace_mechanism, snapping_epsilon_inflation, snapping_lambda};
 use updp_core::UpdpError;
-use updp_statistical::{
-    estimate_iqr, estimate_mean, estimate_quantile, estimate_variance, DEFAULT_BETA,
-};
+use updp_statistical::{EstimateParams, Estimator, Release, DEFAULT_BETA};
 
 /// Budget share driving the underlying estimator in hardened mode.
 pub const ESTIMATOR_SHARE: f64 = 0.9;
@@ -48,42 +57,94 @@ pub const RELEASE_SHARE: f64 = 1.0 - ESTIMATOR_SHARE;
 /// requests may override it per batch.
 pub const DEFAULT_BOUND: f64 = 1e9;
 
+/// The name-keyed estimator registry served by the engine: the five
+/// universal estimators plus every `updp-baselines` comparator.
+pub struct EstimatorCatalog {
+    by_name: HashMap<&'static str, Box<dyn Estimator>>,
+}
+
+impl std::fmt::Debug for EstimatorCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimatorCatalog")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Default for EstimatorCatalog {
+    fn default() -> Self {
+        EstimatorCatalog::standard()
+    }
+}
+
+impl EstimatorCatalog {
+    /// The full standard catalog (universal + baselines).
+    pub fn standard() -> Self {
+        let mut by_name: HashMap<&'static str, Box<dyn Estimator>> = HashMap::new();
+        for est in updp_statistical::universal_estimators()
+            .into_iter()
+            .chain(updp_baselines::baseline_estimators())
+        {
+            let previous = by_name.insert(est.name(), est);
+            debug_assert!(previous.is_none(), "duplicate estimator name");
+        }
+        EstimatorCatalog { by_name }
+    }
+
+    /// Resolves a wire name (accepting `multi_mean` as an alias for
+    /// the historical `multi-mean`).
+    pub fn get(&self, name: &str) -> Option<&dyn Estimator> {
+        let canonical = if name == "multi_mean" {
+            "multi-mean"
+        } else {
+            name
+        };
+        self.by_name.get(canonical).map(|b| b.as_ref())
+    }
+
+    /// All estimator names, sorted (for listings and error messages).
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.by_name.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// All estimators, sorted by name (for the `/v1/estimators`
+    /// listing).
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Estimator> {
+        let mut entries: Vec<&dyn Estimator> = self.by_name.values().map(|b| b.as_ref()).collect();
+        entries.sort_by_key(|e| e.name());
+        entries.into_iter()
+    }
+}
+
 /// One query of a batch request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
-    /// What to estimate.
-    pub kind: QueryKind,
+    /// The estimator's registry name (`"mean"`, `"kv18"`, …).
+    pub estimator: String,
     /// Nominal ε this query spends (hardened mode adds the snapping
     /// inflation on top).
     pub epsilon: f64,
+    /// Estimator-specific parameters (quantile level `q`, assumed
+    /// range `r`, …) as declared by the estimator's `ParamSpec`s.
+    pub options: Vec<(String, f64)>,
 }
 
-/// The statistic a query requests.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryKind {
-    /// Universal mean (Algorithm 8); dimension-1 datasets only.
-    Mean,
-    /// Universal variance (Algorithm 9); dimension-1 datasets only.
-    Variance,
-    /// Universal `q`-quantile; dimension-1 datasets only.
-    Quantile(f64),
-    /// Universal IQR (Algorithm 10); dimension-1 datasets only.
-    Iqr,
-    /// Multivariate mean: one universal mean per column at ε/d,
-    /// β/d (basic composition across coordinates).
-    MultiMean,
-}
-
-impl QueryKind {
-    /// The wire name of this kind.
-    pub fn name(&self) -> &'static str {
-        match self {
-            QueryKind::Mean => "mean",
-            QueryKind::Variance => "variance",
-            QueryKind::Quantile(_) => "quantile",
-            QueryKind::Iqr => "iqr",
-            QueryKind::MultiMean => "multi-mean",
+impl QuerySpec {
+    /// A parameter-less query spec.
+    pub fn new(estimator: &str, epsilon: f64) -> Self {
+        QuerySpec {
+            estimator: estimator.into(),
+            epsilon,
+            options: Vec::new(),
         }
+    }
+
+    /// Adds a named parameter (builder style).
+    pub fn with(mut self, name: &str, value: f64) -> Self {
+        self.options.push((name.into(), value));
+        self
     }
 }
 
@@ -120,8 +181,13 @@ pub enum ReleaseInfo {
 pub enum QueryOutcome {
     /// The query ran and released values.
     Released {
-        /// Wire name of the query kind.
+        /// The estimator's registry name.
         kind: &'static str,
+        /// Table 1 assumptions the estimator's utility requires
+        /// (echoed to the client; empty for universal estimators).
+        assumptions: &'static [&'static str],
+        /// The privacy guarantee the values carry.
+        privacy: &'static str,
         /// Released value(s) — one entry, except `multi-mean`.
         values: Vec<f64>,
         /// Total ε debited from the ledger for this query.
@@ -131,14 +197,14 @@ pub enum QueryOutcome {
     },
     /// The ledger refused the query's budget.
     Refused {
-        /// Wire name of the query kind.
+        /// The estimator's registry name.
         kind: &'static str,
         /// The structured refusal.
         refusal: Refusal,
     },
     /// The estimator itself failed (bad parameters, too little data…).
     Failed {
-        /// Wire name of the query kind.
+        /// The estimator's registry name.
         kind: &'static str,
         /// The estimator error, rendered.
         message: String,
@@ -151,6 +217,13 @@ pub enum QueryOutcome {
 pub enum EngineError {
     /// Ledger I/O or parameter failure.
     Ledger(LedgerError),
+    /// A query names an estimator the catalog does not know.
+    UnknownEstimator {
+        /// The name the client sent.
+        name: String,
+        /// Every name the catalog does know.
+        known: Vec<&'static str>,
+    },
     /// A query spec is invalid before any budget is touched.
     BadQuery(String),
 }
@@ -159,6 +232,11 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Ledger(e) => write!(f, "{e}"),
+            EngineError::UnknownEstimator { name, known } => write!(
+                f,
+                "unknown estimator `{name}`; known estimators: {}",
+                known.join(", ")
+            ),
             EngineError::BadQuery(reason) => write!(f, "bad query: {reason}"),
         }
     }
@@ -170,28 +248,47 @@ impl From<LedgerError> for EngineError {
     }
 }
 
-fn validate_spec(spec: &QuerySpec, dim: usize) -> Result<(), EngineError> {
+fn validate_spec(
+    catalog: &EstimatorCatalog,
+    spec: &QuerySpec,
+    dim: usize,
+) -> Result<(), EngineError> {
+    let estimator = catalog
+        .get(&spec.estimator)
+        .ok_or_else(|| EngineError::UnknownEstimator {
+            name: spec.estimator.clone(),
+            known: catalog.names(),
+        })?;
     if !(spec.epsilon.is_finite() && spec.epsilon > 0.0) {
         return Err(EngineError::BadQuery(format!(
             "epsilon must be finite and positive, got {}",
             spec.epsilon
         )));
     }
-    if let QueryKind::Quantile(q) = spec.kind {
-        if !(q > 0.0 && q < 1.0) {
-            return Err(EngineError::BadQuery(format!(
-                "quantile level must be in (0,1), got {q}"
-            )));
-        }
-    }
-    let scalar = !matches!(spec.kind, QueryKind::MultiMean);
-    if scalar && dim != 1 {
+    if !estimator.multi_column() && dim != 1 {
         return Err(EngineError::BadQuery(format!(
             "query `{}` needs a dimension-1 dataset, got dimension {dim}",
-            spec.kind.name()
+            estimator.name()
         )));
     }
+    // Parameter validation is budget-free: Epsilon is already vetted
+    // above, so construction cannot fail here.
+    let params =
+        query_params(spec, spec.epsilon).map_err(|e| EngineError::BadQuery(e.to_string()))?;
+    estimator
+        .validate_params(&params)
+        .map_err(|e| EngineError::BadQuery(e.to_string()))?;
     Ok(())
+}
+
+/// Builds the `EstimateParams` for a spec at an effective ε (the full
+/// nominal ε in raw mode, `0.9·ε` in hardened mode).
+fn query_params(spec: &QuerySpec, effective_epsilon: f64) -> Result<EstimateParams, UpdpError> {
+    let mut params = EstimateParams::new(Epsilon::new(effective_epsilon)?).with_beta(DEFAULT_BETA);
+    for (name, value) in &spec.options {
+        params.set(name, *value);
+    }
+    Ok(params)
 }
 
 /// Executes a batch of queries against `dataset`, metering `ledger`.
@@ -200,14 +297,19 @@ fn validate_spec(spec: &QuerySpec, dim: usize) -> Result<(), EngineError> {
 /// module docs for the three-phase structure and determinism argument.
 pub fn execute_batch(
     dataset: &Dataset,
+    catalog: &EstimatorCatalog,
     ledger: &Ledger,
     specs: &[QuerySpec],
     seed: u64,
     mode: ReleaseMode,
 ) -> Result<Vec<QueryOutcome>, EngineError> {
     for spec in specs {
-        validate_spec(spec, dataset.dim)?;
+        validate_spec(catalog, spec, dataset.dim)?;
     }
+    let estimators: Vec<&dyn Estimator> = specs
+        .iter()
+        .map(|spec| catalog.get(&spec.estimator).expect("validated above"))
+        .collect();
 
     // Phase 1: in-order nominal reservations ⇒ deterministic refusals.
     // One `reserve_many` call: item-by-item semantics, one snapshot
@@ -219,15 +321,20 @@ pub fn execute_batch(
         .map(Result::err)
         .collect();
 
-    // Phase 2: concurrent execution with per-query child seeds.
-    let columns = dataset.columns.read().unwrap();
+    // Phase 2: concurrent execution with per-query child seeds, all
+    // against ONE immutable snapshot — no lock is held while
+    // estimating, and every query of the batch sees the same data
+    // version (and shares its artifact caches).
+    let prepared = dataset.snapshot();
+    let view = prepared.view();
     let executed: Vec<Option<Result<Execution, UpdpError>>> = par_map_indexed(specs.len(), |i| {
         granted[i].is_none().then(|| {
             let mut rng = seeded(child_seed(seed, i as u64));
-            run_query(&columns, &specs[i], mode, &mut rng)
+            run_query(&view, estimators[i], &specs[i], mode, &mut rng)
         })
     });
-    drop(columns);
+    drop(view);
+    drop(prepared);
 
     // Phase 3: in-order inflation top-ups (again one `reserve_many`),
     // then assemble outcomes.
@@ -246,7 +353,7 @@ pub fn execute_batch(
     .into_iter();
     let mut outcomes = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
-        let kind = spec.kind.name();
+        let kind = estimators[i].name();
         let outcome = match (&granted[i], &executed[i]) {
             (Some(refusal), _) => QueryOutcome::Refused {
                 kind,
@@ -262,6 +369,8 @@ pub fn execute_batch(
                     Some(refusal) => QueryOutcome::Refused { kind, refusal },
                     None => QueryOutcome::Released {
                         kind,
+                        assumptions: estimators[i].assumptions(),
+                        privacy: estimators[i].privacy(),
                         values: execution.values.clone(),
                         epsilon_charged: spec.epsilon + execution.inflation(),
                         release: execution.release.clone(),
@@ -298,13 +407,15 @@ fn eps(v: f64) -> Result<Epsilon, UpdpError> {
     Epsilon::new(v)
 }
 
-/// Runs one granted query. In hardened mode each scalar is estimated
-/// at `ESTIMATOR_SHARE·ε` and re-released through the snapping
-/// mechanism at `RELEASE_SHARE·ε`; the sensitivity proxies fed to the
-/// snapped release are the estimators' own ε-DP scale diagnostics
-/// (post-processing of private quantities, so reusing them is free).
+/// Runs one granted query through the estimator trait. In hardened
+/// mode the estimator runs at `ESTIMATOR_SHARE·ε` and each released
+/// scalar is re-released through the snapping mechanism at its share
+/// of `RELEASE_SHARE·ε`, noised at the estimator's own
+/// [`Release::sensitivities`] proxy (a privately-released or
+/// public-parameter scale, so reusing it is post-processing).
 fn run_query(
-    columns: &[Vec<f64>],
+    view: &updp_statistical::DataView<'_>,
+    estimator: &dyn Estimator,
     spec: &QuerySpec,
     mode: ReleaseMode,
     rng: &mut StdRng,
@@ -315,60 +426,20 @@ fn run_query(
             (spec.epsilon * ESTIMATOR_SHARE, spec.epsilon * RELEASE_SHARE)
         }
     };
-    // (value, sensitivity proxy) per released scalar. The proxy
-    // mirrors each estimator's *final-release* sensitivity — clipping
-    // width over n for means, radius over pair count for the variance,
-    // the discretization bucket for quantile statistics — so the
-    // snapped re-release adds noise of the same order as the
-    // estimator's own release stage (a constant-factor utility cost,
-    // never a change of error regime). All proxies are ε-DP outputs
-    // themselves, so reusing them is post-processing.
-    let released: Vec<(f64, f64)> = match spec.kind {
-        QueryKind::Mean => {
-            let est = estimate_mean(rng, &columns[0], eps(est_eps)?, DEFAULT_BETA)?;
-            vec![(est.estimate, est.range.width() / columns[0].len() as f64)]
-        }
-        QueryKind::Variance => {
-            let est = estimate_variance(rng, &columns[0], eps(est_eps)?, DEFAULT_BETA)?;
-            vec![(est.estimate, est.radius / est.pairs.max(1) as f64)]
-        }
-        QueryKind::Quantile(q) => {
-            let est = estimate_quantile(rng, &columns[0], q, eps(est_eps)?, DEFAULT_BETA)?;
-            vec![(est.estimate, est.bucket)]
-        }
-        QueryKind::Iqr => {
-            let est = estimate_iqr(rng, &columns[0], eps(est_eps)?, DEFAULT_BETA)?;
-            vec![(est.estimate, est.bucket)]
-        }
-        QueryKind::MultiMean => {
-            // Per-coordinate universal means at ε/d, β/d — the same
-            // basic-composition layout as
-            // `updp_statistical::estimate_mean_multivariate`, applied
-            // to the registry's column-major storage.
-            let d = columns.len();
-            let coord_eps = eps(est_eps / d as f64)?;
-            let coord_beta = DEFAULT_BETA / d as f64;
-            columns
-                .iter()
-                .map(|column| {
-                    let est = estimate_mean(rng, column, coord_eps, coord_beta)?;
-                    Ok((est.estimate, est.range.width() / column.len() as f64))
-                })
-                .collect::<Result<_, UpdpError>>()?
-        }
-    };
+    let params = query_params(spec, est_eps)?;
+    let released: Release = estimator.estimate(rng, view, &params)?;
 
     match mode {
         ReleaseMode::Raw => Ok(Execution {
-            values: released.iter().map(|&(v, _)| v).collect(),
+            values: released.values,
             release: ReleaseInfo::Raw,
         }),
         ReleaseMode::Hardened { bound } => {
-            let per_scalar = eps(rel_eps / released.len() as f64)?;
-            let mut values = Vec::with_capacity(released.len());
-            let mut lambdas = Vec::with_capacity(released.len());
+            let per_scalar = eps(rel_eps / released.values.len() as f64)?;
+            let mut values = Vec::with_capacity(released.values.len());
+            let mut lambdas = Vec::with_capacity(released.values.len());
             let mut inflation = 0.0;
-            for &(value, sensitivity) in &released {
+            for (&value, &sensitivity) in released.values.iter().zip(&released.sensitivities) {
                 let sensitivity = sensitivity.max(f64::MIN_POSITIVE);
                 let scale = sensitivity / per_scalar.get();
                 values.push(snapped_laplace_mechanism(
@@ -398,7 +469,13 @@ mod tests {
     use super::*;
     use crate::registry::Registry;
     use rand::Rng;
+    use updp_core::privacy::Delta;
     use updp_dist::{ContinuousDistribution, Gaussian};
+    use updp_statistical::estimate_mean;
+
+    fn catalog() -> EstimatorCatalog {
+        EstimatorCatalog::standard()
+    }
 
     fn gaussian_registry(n: usize) -> (Registry, Ledger) {
         let mut rng = seeded(0xDA7A);
@@ -412,18 +489,9 @@ mod tests {
 
     fn batch() -> Vec<QuerySpec> {
         vec![
-            QuerySpec {
-                kind: QueryKind::Mean,
-                epsilon: 0.5,
-            },
-            QuerySpec {
-                kind: QueryKind::Quantile(0.9),
-                epsilon: 0.5,
-            },
-            QuerySpec {
-                kind: QueryKind::Iqr,
-                epsilon: 0.5,
-            },
+            QuerySpec::new("mean", 0.5),
+            QuerySpec::new("quantile", 0.5).with("q", 0.9),
+            QuerySpec::new("iqr", 0.5),
         ]
     }
 
@@ -431,14 +499,15 @@ mod tests {
     fn batch_is_bit_reproducible_for_a_seed() {
         let (registry, ledger) = gaussian_registry(4_000);
         let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
         let mode = ReleaseMode::Hardened {
             bound: DEFAULT_BOUND,
         };
-        let a = execute_batch(&dataset, &ledger, &batch(), 7, mode).unwrap();
-        let b = execute_batch(&dataset, &ledger, &batch(), 7, mode).unwrap();
+        let a = execute_batch(&dataset, &catalog, &ledger, &batch(), 7, mode).unwrap();
+        let b = execute_batch(&dataset, &catalog, &ledger, &batch(), 7, mode).unwrap();
         assert_eq!(a, b);
         // And a different seed produces different draws.
-        let c = execute_batch(&dataset, &ledger, &batch(), 8, mode).unwrap();
+        let c = execute_batch(&dataset, &catalog, &ledger, &batch(), 8, mode).unwrap();
         assert_ne!(a, c);
     }
 
@@ -446,9 +515,11 @@ mod tests {
     fn thread_count_does_not_change_the_response() {
         let (registry, ledger) = gaussian_registry(4_000);
         let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
         let run = |threads: &str| {
             std::env::set_var(updp_core::parallel::THREADS_ENV, threads);
-            let out = execute_batch(&dataset, &ledger, &batch(), 7, ReleaseMode::Raw).unwrap();
+            let out =
+                execute_batch(&dataset, &catalog, &ledger, &batch(), 7, ReleaseMode::Raw).unwrap();
             std::env::remove_var(updp_core::parallel::THREADS_ENV);
             out
         };
@@ -459,9 +530,11 @@ mod tests {
     fn hardened_releases_land_on_the_grid_and_charge_inflation() {
         let (registry, ledger) = gaussian_registry(4_000);
         let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
         let spent_before = ledger.account("g").unwrap().spent;
         let outcomes = execute_batch(
             &dataset,
+            &catalog,
             &ledger,
             &batch(),
             3,
@@ -506,15 +579,13 @@ mod tests {
     fn raw_mode_matches_the_bare_estimator() {
         let (registry, ledger) = gaussian_registry(4_000);
         let dataset = registry.get("g").unwrap();
-        let specs = vec![QuerySpec {
-            kind: QueryKind::Mean,
-            epsilon: 0.5,
-        }];
-        let out = execute_batch(&dataset, &ledger, &specs, 11, ReleaseMode::Raw).unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("mean", 0.5)];
+        let out = execute_batch(&dataset, &catalog, &ledger, &specs, 11, ReleaseMode::Raw).unwrap();
         let mut rng = seeded(child_seed(11, 0));
         let direct = estimate_mean(
             &mut rng,
-            &dataset.columns.read().unwrap()[0],
+            &dataset.snapshot().columns()[0],
             Epsilon::new(0.5).unwrap(),
             DEFAULT_BETA,
         )
@@ -524,23 +595,115 @@ mod tests {
                 values,
                 epsilon_charged,
                 release,
+                assumptions,
                 ..
             } => {
                 assert_eq!(values[0].to_bits(), direct.estimate.to_bits());
                 assert_eq!(*epsilon_charged, 0.5);
                 assert_eq!(*release, ReleaseInfo::Raw);
+                assert!(assumptions.is_empty());
             }
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
+    fn baselines_are_servable_by_name_with_assumption_metadata() {
+        let (registry, ledger) = gaussian_registry(4_000);
+        let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
+        let specs = vec![
+            QuerySpec::new("kv18", 0.5)
+                .with("r", 1000.0)
+                .with("sigma_min", 0.1)
+                .with("sigma_max", 100.0),
+            QuerySpec::new("naive_clip", 0.5).with("r", 1000.0),
+            QuerySpec::new("dl09", 0.5),
+            QuerySpec::new("nonprivate", 0.5),
+        ];
+        let out = execute_batch(&dataset, &catalog, &ledger, &specs, 21, ReleaseMode::Raw).unwrap();
+
+        // kv18 value matches the direct free function on the same
+        // child seed, and carries its Table 1 assumptions.
+        let mut rng = seeded(child_seed(21, 0));
+        let direct = updp_baselines::kv18_gaussian_mean(
+            &mut rng,
+            &dataset.snapshot().columns()[0],
+            1000.0,
+            0.1,
+            100.0,
+            Epsilon::new(0.5).unwrap(),
+        )
+        .unwrap();
+        match &out[0] {
+            QueryOutcome::Released {
+                kind,
+                values,
+                assumptions,
+                privacy,
+                ..
+            } => {
+                assert_eq!(*kind, "kv18");
+                assert_eq!(values[0].to_bits(), direct.to_bits());
+                assert_eq!(*assumptions, &["A1", "A2", "A3"]);
+                assert_eq!(*privacy, "ε-DP");
+            }
+            other => panic!("{other:?}"),
+        }
+        match &out[2] {
+            QueryOutcome::Released { privacy, .. } => assert_eq!(*privacy, "(ε, δ)-DP"),
+            // DL09's PTR may legitimately refuse on stability; that
+            // surfaces as Failed, not a panic.
+            QueryOutcome::Failed { message, .. } => assert!(message.contains("DL09")),
+            other => panic!("{other:?}"),
+        }
+        match &out[3] {
+            QueryOutcome::Released { privacy, .. } => assert_eq!(*privacy, "none"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_estimator_is_a_structured_pre_budget_error() {
+        let (registry, ledger) = gaussian_registry(1_000);
+        let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("mode", 0.5)];
+        let err =
+            execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap_err();
+        match &err {
+            EngineError::UnknownEstimator { name, known } => {
+                assert_eq!(name, "mode");
+                assert!(known.contains(&"kv18"));
+                assert!(known.contains(&"mean"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // No budget moved.
+        assert_eq!(ledger.account("g").unwrap().spent, 0.0);
+    }
+
+    #[test]
+    fn missing_required_baseline_params_fail_before_budget() {
+        let (registry, ledger) = gaussian_registry(1_000);
+        let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("kv18", 0.5)];
+        let err =
+            execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap_err();
+        assert!(matches!(err, EngineError::BadQuery(_)), "{err:?}");
+        assert_eq!(ledger.account("g").unwrap().spent, 0.0);
+    }
+
+    #[test]
     fn exhaustion_refuses_deterministically_mid_batch() {
         let (registry, _) = gaussian_registry(4_000);
         let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
         let ledger = Ledger::in_memory();
         ledger.register("g", 1.2).unwrap();
-        let outcomes = execute_batch(&dataset, &ledger, &batch(), 5, ReleaseMode::Raw).unwrap();
+        let outcomes =
+            execute_batch(&dataset, &catalog, &ledger, &batch(), 5, ReleaseMode::Raw).unwrap();
         assert!(matches!(outcomes[0], QueryOutcome::Released { .. }));
         assert!(matches!(outcomes[1], QueryOutcome::Released { .. }));
         match &outcomes[2] {
@@ -564,18 +727,21 @@ mod tests {
         let ledger = Ledger::in_memory();
         ledger.register("mv", 10.0).unwrap();
         let dataset = registry.get("mv").unwrap();
-        let specs = vec![QuerySpec {
-            kind: QueryKind::MultiMean,
-            epsilon: 2.0,
-        }];
-        let out = execute_batch(&dataset, &ledger, &specs, 1, ReleaseMode::Raw).unwrap();
-        match &out[0] {
-            QueryOutcome::Released { values, .. } => {
-                assert_eq!(values.len(), 2);
-                assert!((values[0] - 10.0).abs() < 0.5, "{values:?}");
-                assert!((values[1] + 3.0).abs() < 0.5, "{values:?}");
+        let catalog = catalog();
+        // Both the historical wire name and the underscore alias work.
+        for name in ["multi-mean", "multi_mean"] {
+            let specs = vec![QuerySpec::new(name, 2.0)];
+            let out =
+                execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap();
+            match &out[0] {
+                QueryOutcome::Released { values, kind, .. } => {
+                    assert_eq!(*kind, "multi-mean");
+                    assert_eq!(values.len(), 2);
+                    assert!((values[0] - 10.0).abs() < 0.5, "{values:?}");
+                    assert!((values[1] + 3.0).abs() < 0.5, "{values:?}");
+                }
+                other => panic!("{other:?}"),
             }
-            other => panic!("{other:?}"),
         }
     }
 
@@ -588,11 +754,10 @@ mod tests {
         let ledger = Ledger::in_memory();
         ledger.register("mv", 1.0).unwrap();
         let dataset = registry.get("mv").unwrap();
-        let specs = vec![QuerySpec {
-            kind: QueryKind::Mean,
-            epsilon: 0.1,
-        }];
-        let err = execute_batch(&dataset, &ledger, &specs, 1, ReleaseMode::Raw).unwrap_err();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("mean", 0.1)];
+        let err =
+            execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap_err();
         assert!(matches!(err, EngineError::BadQuery(_)));
         // Validation happens before any budget moves.
         assert_eq!(ledger.account("mv").unwrap().spent, 0.0);
@@ -607,13 +772,50 @@ mod tests {
         let ledger = Ledger::in_memory();
         ledger.register("tiny", 1.0).unwrap();
         let dataset = registry.get("tiny").unwrap();
-        let specs = vec![QuerySpec {
-            kind: QueryKind::Mean,
-            epsilon: 0.25,
-        }];
-        let out = execute_batch(&dataset, &ledger, &specs, 1, ReleaseMode::Raw).unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("mean", 0.25)];
+        let out = execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap();
         assert!(matches!(&out[0], QueryOutcome::Failed { .. }), "{out:?}");
         assert_eq!(ledger.account("tiny").unwrap().spent, 0.25);
+    }
+
+    #[test]
+    fn repeated_quantile_queries_reuse_the_snapshot_grid() {
+        // The cache effect: after one quantile query, the snapshot has
+        // a grid cached for the privately-chosen bucket; a repeat
+        // query with the same seed must hit it (same bucket) and stay
+        // bit-identical to the first.
+        let (registry, ledger) = gaussian_registry(4_000);
+        let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("quantile", 0.25).with("q", 0.5)];
+        let a = execute_batch(&dataset, &catalog, &ledger, &specs, 5, ReleaseMode::Raw).unwrap();
+        let cached_after_first = dataset.snapshot().view().col(0).cached_grids();
+        assert!(cached_after_first >= 1, "first query must warm the cache");
+        let b = execute_batch(&dataset, &catalog, &ledger, &specs, 5, ReleaseMode::Raw).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            dataset.snapshot().view().col(0).cached_grids(),
+            cached_after_first,
+            "same-seed repeat must not grow the grid cache"
+        );
+    }
+
+    #[test]
+    fn dl09_delta_zero_rejected_pre_budget() {
+        let (registry, ledger) = gaussian_registry(1_000);
+        let dataset = registry.get("g").unwrap();
+        let catalog = catalog();
+        let specs = vec![QuerySpec::new("dl09", 0.5).with("delta", 0.0)];
+        let err =
+            execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap_err();
+        assert!(matches!(err, EngineError::BadQuery(_)));
+        assert_eq!(ledger.account("g").unwrap().spent, 0.0);
+        // A valid delta runs (or refuses inside PTR, but spends).
+        let specs =
+            vec![QuerySpec::new("dl09", 0.5).with("delta", Delta::new(1e-6).unwrap().get())];
+        let out = execute_batch(&dataset, &catalog, &ledger, &specs, 1, ReleaseMode::Raw).unwrap();
+        assert!(!matches!(&out[0], QueryOutcome::Refused { .. }));
     }
 
     #[test]

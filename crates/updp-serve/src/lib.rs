@@ -8,14 +8,18 @@
 //! the pieces:
 //!
 //! * [`registry`] — sharded in-memory dataset registry
-//!   (register/append/drop, per-dataset `RwLock`, stable ids);
+//!   (register/append/drop, stable ids) handing out immutable
+//!   `Arc<PreparedDataset>` snapshots whose sorted/discretized
+//!   artifacts are cached across queries and invalidated by append;
 //! * [`ledger`] — the ε accountant: atomic per-query reservation
 //!   under basic composition, structured refusals on exhaustion, and
 //!   a persisted snapshot so restarts cannot replay budget;
-//! * [`engine`] — batched queries (`mean`, `variance`, `quantile`,
-//!   `iqr`, `multi-mean`) over the `updp-statistical` estimators,
-//!   executed concurrently through `updp_core::parallel` with the
-//!   §1.1 child-seed scheme (bit-reproducible given the request
+//! * [`engine`] — batched queries dispatched **by estimator name**
+//!   through the workspace [`updp_statistical::Estimator`] trait:
+//!   the five universal estimators plus every Table 1 baseline
+//!   (`kv18`, `coinpress`, `dl09`, …, assumptions echoed on the
+//!   wire), executed concurrently through `updp_core::parallel` with
+//!   the §1.1 child-seed scheme (bit-reproducible given the request
 //!   seed), with the hardened snapping release mode on by default;
 //! * [`http`] / [`wire`] — the first-party HTTP codec and the JSON
 //!   wire schema (shared `updp_core::json` implementation);
@@ -38,7 +42,7 @@ pub mod report;
 pub mod server;
 pub mod wire;
 
-pub use engine::{QueryKind, QueryOutcome, QuerySpec, ReleaseMode};
+pub use engine::{EstimatorCatalog, QueryOutcome, QuerySpec, ReleaseMode};
 pub use ledger::Ledger;
 pub use registry::Registry;
 pub use server::Server;

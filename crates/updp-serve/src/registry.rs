@@ -7,10 +7,15 @@
 //! alphabet so it can appear verbatim in URLs, file names, and logs.
 //!
 //! Concurrency layout: names hash to one of [`SHARDS`] shards, each an
-//! independent `RwLock<HashMap>`; dataset *rows* live behind a second
-//! per-dataset `RwLock` inside an `Arc`, so queries on one dataset
-//! share a read lock with each other and never contend with traffic on
-//! other datasets (or with registry mutations on other shards).
+//! independent `RwLock<HashMap>`; dataset *contents* are an immutable
+//! [`PreparedDataset`] snapshot behind a per-dataset
+//! `RwLock<Arc<…>>`. Queries clone the `Arc` and estimate **without
+//! holding any lock** — readers never block each other or appends.
+//! [`Registry::append`] is copy-on-write: it derives a new snapshot
+//! (fresh artifact caches, bumped version) and swaps the `Arc`, so the
+//! sorted/discretized artifacts cached by `PreparedDataset` can never
+//! describe stale rows, while in-flight queries keep their consistent
+//! old snapshot.
 //!
 //! Data is stored column-major (`dim` columns of equal length): scalar
 //! datasets are one column, and the multivariate mean estimator
@@ -20,6 +25,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
+use updp_statistical::PreparedDataset;
 
 /// Number of registry shards. A fixed small power of two: enough to
 /// decorrelate unrelated datasets' lock traffic, cheap to scan for
@@ -29,27 +35,39 @@ pub const SHARDS: usize = 16;
 /// Maximum dataset-name length (the name is the wire-visible id).
 pub const MAX_NAME_LEN: usize = 64;
 
-/// One registered dataset: its immutable identity plus the mutable,
-/// column-major data behind a per-dataset `RwLock`.
+/// One registered dataset: its immutable identity plus the swappable
+/// [`PreparedDataset`] snapshot.
 #[derive(Debug)]
 pub struct Dataset {
     /// The stable dataset id (client-chosen, validated).
     pub name: String,
     /// Record dimension (number of columns); fixed at registration.
     pub dim: usize,
-    /// `dim` columns of equal length, one entry per record.
-    pub columns: RwLock<Vec<Vec<f64>>>,
+    snapshot: RwLock<Arc<PreparedDataset>>,
 }
 
 impl Dataset {
+    /// The current immutable snapshot. Callers estimate against the
+    /// returned `Arc` without holding any registry lock; a concurrent
+    /// append simply swaps in a successor snapshot.
+    pub fn snapshot(&self) -> Arc<PreparedDataset> {
+        self.snapshot.read().unwrap().clone()
+    }
+
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.columns.read().unwrap().first().map_or(0, Vec::len)
+        self.snapshot.read().unwrap().len()
     }
 
     /// Whether the dataset currently holds no records.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The current snapshot version (0 at registration, +1 per
+    /// append).
+    pub fn version(&self) -> u64 {
+        self.snapshot.read().unwrap().version()
     }
 }
 
@@ -163,7 +181,7 @@ impl Registry {
         let dataset = Arc::new(Dataset {
             name: name.into(),
             dim: columns.len(),
-            columns: RwLock::new(columns),
+            snapshot: RwLock::new(Arc::new(PreparedDataset::new(columns))),
         });
         shard.insert(name.into(), Arc::clone(&dataset));
         Ok(dataset)
@@ -180,7 +198,11 @@ impl Registry {
     }
 
     /// Appends records (column-major, same dimension) to a dataset and
-    /// returns its new record count.
+    /// returns its new record count. The dataset's snapshot — and with
+    /// it every cached sorted/discretized artifact — is **replaced**,
+    /// never mutated: queries already holding the old snapshot finish
+    /// on consistent data, and the next query sees the new rows with
+    /// fresh caches.
     pub fn append(&self, name: &str, columns: Vec<Vec<f64>>) -> Result<usize, RegistryError> {
         validate_columns(&columns)?;
         let dataset = self.get(name)?;
@@ -190,11 +212,11 @@ impl Registry {
                 got: columns.len(),
             });
         }
-        let mut held = dataset.columns.write().unwrap();
-        for (column, new) in held.iter_mut().zip(columns) {
-            column.extend(new);
-        }
-        Ok(held[0].len())
+        let mut held = dataset.snapshot.write().unwrap();
+        let next = held.append(&columns);
+        let records = next.len();
+        *held = Arc::new(next);
+        Ok(records)
     }
 
     /// Drops a dataset's data. The budget ledger entry deliberately
@@ -295,7 +317,34 @@ mod tests {
         assert_eq!(reg.list().len(), 100);
         for i in 0..100 {
             let d = reg.get(&format!("ds-{i}")).unwrap();
-            assert_eq!(d.columns.read().unwrap()[0][0], i as f64);
+            assert_eq!(d.snapshot().columns()[0][0], i as f64);
         }
+    }
+
+    #[test]
+    fn append_replaces_the_snapshot_and_invalidates_caches() {
+        let reg = Registry::new();
+        reg.register("v", col(&[5.0, 1.0, 3.0])).unwrap();
+        let dataset = reg.get("v").unwrap();
+        let before = dataset.snapshot();
+        assert_eq!(before.version(), 0);
+        // Warm the caches on the pre-append snapshot.
+        let sorted = before.view().col(0).sorted();
+        assert_eq!(sorted.as_slice(), &[1.0, 3.0, 5.0]);
+        let _ = before.view().col(0).grid(1.0).unwrap();
+
+        reg.append("v", col(&[9.0, 7.0])).unwrap();
+        let after = dataset.snapshot();
+        assert!(!Arc::ptr_eq(&before, &after), "append must swap snapshots");
+        assert_eq!(after.version(), 1);
+        assert_eq!(after.len(), 5);
+        // The new snapshot's artifacts see the appended rows…
+        assert_eq!(
+            after.view().col(0).sorted().as_slice(),
+            &[1.0, 3.0, 5.0, 7.0, 9.0]
+        );
+        // …while the retained old snapshot stays consistent.
+        assert_eq!(before.len(), 3);
+        assert_eq!(before.view().col(0).sorted().as_slice(), &[1.0, 3.0, 5.0]);
     }
 }

@@ -6,11 +6,18 @@
 use updp_core::json::JsonValue;
 
 /// The current schema tag.
-pub const SCHEMA: &str = "updp-serve-loadgen/v1";
+pub const SCHEMA: &str = "updp-serve-loadgen/v2";
 
 /// One measured load level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadRun {
+    /// Workload id: `"batch"` (the hardened mean+p90+iqr batch),
+    /// `"repeat-quantile-cold"` (fresh dataset per request — every
+    /// query pays the full discretize-and-sort), or
+    /// `"repeat-quantile-warm"` (one dataset queried repeatedly — the
+    /// `PreparedDataset` grid cache absorbs the sort). Cold vs warm
+    /// p50/p99 is the cache win.
+    pub workload: String,
     /// Concurrent client connections.
     pub connections: usize,
     /// Total requests completed across all connections.
@@ -32,8 +39,10 @@ pub struct ServeReport {
     pub schema: String,
     /// `available_parallelism()` on the measuring host.
     pub host_threads: usize,
-    /// Records per request-target dataset.
+    /// Records per request-target dataset (batch workload).
     pub dataset_records: usize,
+    /// Records per dataset in the repeat-quantile workloads.
+    pub quantile_records: usize,
     /// One row per connection count (the committed file measures 1
     /// and 8).
     pub runs: Vec<LoadRun>,
@@ -49,6 +58,7 @@ impl ServeReport {
             .iter()
             .map(|run| {
                 JsonValue::object(vec![
+                    ("workload", run.workload.as_str().into()),
                     ("connections", run.connections.into()),
                     ("requests", run.requests.into()),
                     ("wall_ms", run.wall_ms.into()),
@@ -62,6 +72,7 @@ impl ServeReport {
             ("schema", self.schema.as_str().into()),
             ("host_threads", self.host_threads.into()),
             ("dataset_records", self.dataset_records.into()),
+            ("quantile_records", self.quantile_records.into()),
             ("runs", JsonValue::Array(runs)),
             ("note", self.note.as_str().into()),
         ])
@@ -84,6 +95,7 @@ impl ServeReport {
             .map(|v| -> Result<LoadRun, String> {
                 let run = v.as_object("run")?;
                 Ok(LoadRun {
+                    workload: run.get_str("workload")?,
                     connections: run.get_usize("connections")?,
                     requests: run.get_usize("requests")?,
                     wall_ms: run.get_f64("wall_ms")?,
@@ -97,6 +109,7 @@ impl ServeReport {
             schema,
             host_threads: obj.get_usize("host_threads")?,
             dataset_records: obj.get_usize("dataset_records")?,
+            quantile_records: obj.get_usize("quantile_records")?,
             runs,
             note: obj.get_str("note")?,
         })
@@ -121,8 +134,10 @@ mod tests {
             schema: SCHEMA.into(),
             host_threads: 4,
             dataset_records: 10_000,
+            quantile_records: 100_000,
             runs: vec![
                 LoadRun {
+                    workload: "batch".into(),
                     connections: 1,
                     requests: 500,
                     wall_ms: 1250.5,
@@ -131,6 +146,7 @@ mod tests {
                     p99_ms: 8.875,
                 },
                 LoadRun {
+                    workload: "batch".into(),
                     connections: 8,
                     requests: 4_000,
                     wall_ms: 3000.125,

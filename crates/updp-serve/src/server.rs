@@ -11,13 +11,14 @@
 //! |---|---|---|
 //! | `GET /v1/healthz` | — | liveness probe |
 //! | `GET /v1/datasets` | — | list datasets + budgets |
+//! | `GET /v1/estimators` | — | list servable estimators + assumptions |
 //! | `POST /v1/register` | `{name, budget, data\|columns}` | create dataset + ledger account |
 //! | `POST /v1/append` | `{name, data\|columns}` | append records |
 //! | `POST /v1/drop` | `{name}` | drop data (ledger entry survives) |
 //! | `POST /v1/query` | see [`crate::wire::parse_query`] | budgeted batch estimation |
 //! | `POST /v1/shutdown` | — | graceful stop |
 
-use crate::engine::{execute_batch, EngineError, QueryOutcome, ReleaseMode};
+use crate::engine::{execute_batch, EngineError, EstimatorCatalog, QueryOutcome, ReleaseMode};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::ledger::{Ledger, LedgerError};
 use crate::registry::{Registry, RegistryError};
@@ -34,6 +35,8 @@ pub struct AppState {
     pub registry: Registry,
     /// The persisted privacy-budget ledger.
     pub ledger: Ledger,
+    /// The name-keyed estimator catalog (universal + baselines).
+    pub estimators: EstimatorCatalog,
     shutdown: AtomicBool,
 }
 
@@ -51,6 +54,7 @@ impl Server {
             state: Arc::new(AppState {
                 registry: Registry::new(),
                 ledger,
+                estimators: EstimatorCatalog::standard(),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -184,6 +188,7 @@ fn route(state: &AppState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => ok(JsonValue::object(vec![("ok", true.into())])),
         ("GET", "/v1/datasets") => list(state),
+        ("GET", "/v1/estimators") => (200, wire::estimators_response(state.estimators.iter())),
         ("POST", "/v1/register") => register(state, body),
         ("POST", "/v1/append") => append(state, body),
         ("POST", "/v1/drop") => drop_dataset(state, body),
@@ -199,6 +204,7 @@ fn known_path(path: &str) -> bool {
         path,
         "/v1/healthz"
             | "/v1/datasets"
+            | "/v1/estimators"
             | "/v1/register"
             | "/v1/append"
             | "/v1/drop"
@@ -317,10 +323,19 @@ fn query(state: &AppState, body: &str) -> Response {
             bound: request.bound,
         }
     };
-    let outcomes = match execute_batch(&dataset, &state.ledger, &request.specs, request.seed, mode)
-    {
+    let outcomes = match execute_batch(
+        &dataset,
+        &state.estimators,
+        &state.ledger,
+        &request.specs,
+        request.seed,
+        mode,
+    ) {
         Ok(outcomes) => outcomes,
         Err(EngineError::BadQuery(reason)) => return error(400, "bad_query", &reason),
+        Err(e @ EngineError::UnknownEstimator { .. }) => {
+            return error(400, "unknown_estimator", &e.to_string())
+        }
         Err(EngineError::Ledger(e)) => return ledger_error(&e),
     };
     let account = match state.ledger.account(&request.dataset) {

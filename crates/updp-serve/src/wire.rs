@@ -3,8 +3,20 @@
 //! Documented as a contract in DESIGN.md §6 and exercised end-to-end
 //! by the CI smoke step. Everything flows through the shared
 //! [`updp_core::json`] codec; responses are compact JSON (one line).
+//!
+//! A query names its estimator either as `"estimator"` (any name in
+//! the server's catalog — universal or baseline) or via the historical
+//! alias `"kind"`; estimator-specific parameters ride in a `"params"`
+//! object of numbers, with the historical top-level `"q"` still
+//! accepted for quantiles:
+//!
+//! ```json
+//! {"kind": "quantile", "q": 0.9, "epsilon": 0.2}
+//! {"estimator": "kv18", "epsilon": 0.2,
+//!  "params": {"r": 1000, "sigma_min": 0.1, "sigma_max": 100}}
+//! ```
 
-use crate::engine::{QueryKind, QueryOutcome, QuerySpec, ReleaseInfo, DEFAULT_BOUND};
+use crate::engine::{QueryOutcome, QuerySpec, ReleaseInfo, DEFAULT_BOUND};
 use crate::ledger::Account;
 use updp_core::json::JsonValue;
 
@@ -96,8 +108,47 @@ pub struct QueryRequest {
     pub specs: Vec<QuerySpec>,
 }
 
+fn parse_spec(q: &JsonValue) -> Result<QuerySpec, WireError> {
+    let q = q.as_object("query")?;
+    let estimator = match (q.opt("estimator"), q.opt("kind")) {
+        (Some(name), None) | (None, Some(name)) => name.as_str("estimator")?.to_string(),
+        (Some(_), Some(_)) => return Err(WireError("give `estimator` or `kind`, not both".into())),
+        (None, None) => return Err(WireError("missing `estimator` (or `kind`)".into())),
+    };
+    let mut options: Vec<(String, f64)> = Vec::new();
+    // Historical shape: a top-level `q` is the quantile level, and the
+    // legacy parser read it only for `kind: "quantile"` — a stray `q`
+    // on any other kind was ignored. Preserve both halves of that
+    // contract; the general mechanism is the `params` object.
+    if estimator == "quantile" {
+        if let Some(qlevel) = q.opt("q") {
+            options.push(("q".into(), qlevel.as_f64("q")?));
+        }
+    }
+    if let Some(params) = q.opt("params") {
+        match params {
+            JsonValue::Object(fields) => {
+                for (name, value) in fields {
+                    let value = value.as_f64(name)?;
+                    if options.iter().any(|(n, _)| n == name) {
+                        return Err(WireError(format!("duplicate parameter `{name}`")));
+                    }
+                    options.push((name.clone(), value));
+                }
+            }
+            _ => return Err(WireError("`params` must be an object of numbers".into())),
+        }
+    }
+    Ok(QuerySpec {
+        estimator,
+        epsilon: q.get_f64("epsilon")?,
+        options,
+    })
+}
+
 /// Parses a query body:
-/// `{"dataset", "seed", "raw"?, "bound"?, "queries": [{"kind", "epsilon", "q"?}, …]}`.
+/// `{"dataset", "seed", "raw"?, "bound"?, "queries": [{"estimator"|"kind",
+/// "epsilon", "q"?, "params"?}, …]}`.
 pub fn parse_query(body: &str) -> Result<QueryRequest, WireError> {
     let doc = JsonValue::parse(body)?;
     let obj = doc.as_object("query request")?;
@@ -123,21 +174,7 @@ pub fn parse_query(body: &str) -> Result<QueryRequest, WireError> {
     let specs = obj
         .get_array("queries")?
         .iter()
-        .map(|q| -> Result<QuerySpec, WireError> {
-            let q = q.as_object("query")?;
-            let kind = match q.get_str("kind")?.as_str() {
-                "mean" => QueryKind::Mean,
-                "variance" => QueryKind::Variance,
-                "quantile" => QueryKind::Quantile(q.get_f64("q")?),
-                "iqr" => QueryKind::Iqr,
-                "multi-mean" => QueryKind::MultiMean,
-                other => return Err(WireError(format!("unknown query kind `{other}`"))),
-            };
-            Ok(QuerySpec {
-                kind,
-                epsilon: q.get_f64("epsilon")?,
-            })
-        })
+        .map(parse_spec)
         .collect::<Result<Vec<_>, _>>()?;
     if specs.is_empty() {
         return Err(WireError("empty query batch".into()));
@@ -169,11 +206,17 @@ pub fn budget_json(account: &Account) -> JsonValue {
     ])
 }
 
+fn strings(items: &[&str]) -> JsonValue {
+    JsonValue::Array(items.iter().map(|&s| s.into()).collect())
+}
+
 /// Renders one query outcome as its wire object.
 pub fn outcome_json(outcome: &QueryOutcome) -> JsonValue {
     match outcome {
         QueryOutcome::Released {
             kind,
+            assumptions,
+            privacy,
             values,
             epsilon_charged,
             release,
@@ -193,6 +236,8 @@ pub fn outcome_json(outcome: &QueryOutcome) -> JsonValue {
             };
             JsonValue::object(vec![
                 ("kind", (*kind).into()),
+                ("assumptions", strings(assumptions)),
+                ("privacy", (*privacy).into()),
                 ("values", JsonValue::numbers(values)),
                 ("epsilon_charged", (*epsilon_charged).into()),
                 ("release", release),
@@ -241,6 +286,42 @@ pub fn query_response(
     .to_compact()
 }
 
+/// Renders the `/v1/estimators` catalog listing: every servable
+/// estimator with its statistic, privacy guarantee, Table 1
+/// assumptions, and declared parameters.
+pub fn estimators_response<'a>(
+    estimators: impl Iterator<Item = &'a dyn updp_statistical::Estimator>,
+) -> String {
+    let rows = estimators
+        .map(|est| {
+            let params = est
+                .params()
+                .iter()
+                .map(|spec| {
+                    let mut fields = vec![
+                        ("name", spec.name.into()),
+                        ("required", spec.required.into()),
+                    ];
+                    if let Some(default) = spec.default {
+                        fields.push(("default", default.into()));
+                    }
+                    fields.push(("doc", spec.doc.into()));
+                    JsonValue::object(fields)
+                })
+                .collect();
+            JsonValue::object(vec![
+                ("name", est.name().into()),
+                ("statistic", est.statistic().into()),
+                ("privacy", est.privacy().into()),
+                ("assumptions", strings(est.assumptions())),
+                ("multi_column", est.multi_column().into()),
+                ("params", JsonValue::Array(params)),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![("estimators", JsonValue::Array(rows))]).to_compact()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,7 +350,54 @@ mod tests {
         assert!(req.raw);
         assert_eq!(req.bound, 100.0);
         assert_eq!(req.specs.len(), 3);
-        assert_eq!(req.specs[1].kind, QueryKind::Quantile(0.9));
+        assert_eq!(req.specs[1].estimator, "quantile");
+        assert_eq!(req.specs[1].options, vec![("q".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn query_parses_named_estimators_with_params() {
+        let req = parse_query(
+            r#"{"dataset":"a","seed":1,"raw":true,
+                "queries":[{"estimator":"kv18","epsilon":0.2,
+                            "params":{"r":1000,"sigma_min":0.1,"sigma_max":100}},
+                           {"estimator":"dl09","epsilon":0.1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.specs[0].estimator, "kv18");
+        assert_eq!(
+            req.specs[0].options,
+            vec![
+                ("r".to_string(), 1000.0),
+                ("sigma_min".to_string(), 0.1),
+                ("sigma_max".to_string(), 100.0)
+            ]
+        );
+        assert!(req.specs[1].options.is_empty());
+        // `estimator` and `kind` are exclusive; params must be numbers;
+        // a top-level q duplicated in params is rejected.
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"kind":"mean","estimator":"mean","epsilon":0.1}]}"#
+        )
+        .is_err());
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"estimator":"kv18","epsilon":0.1,"params":{"r":"x"}}]}"#
+        )
+        .is_err());
+        assert!(parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"estimator":"quantile","epsilon":0.1,"q":0.5,"params":{"q":0.9}}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stray_q_on_non_quantile_kinds_stays_ignored() {
+        // Legacy parser read `q` only for kind = "quantile"; a stray
+        // `q` elsewhere was ignored, never an error.
+        let req = parse_query(
+            r#"{"dataset":"a","seed":1,"queries":[{"kind":"mean","q":0.5,"epsilon":0.1}]}"#,
+        )
+        .unwrap();
+        assert!(req.specs[0].options.is_empty());
     }
 
     #[test]
@@ -290,14 +418,7 @@ mod tests {
         )
         .is_err());
         assert!(parse_query(r#"{"dataset":"a","seed":1,"queries":[]}"#).is_err());
-        assert!(parse_query(
-            r#"{"dataset":"a","seed":1,"queries":[{"kind":"mode","epsilon":0.1}]}"#
-        )
-        .is_err());
-        assert!(parse_query(
-            r#"{"dataset":"a","seed":1,"queries":[{"kind":"quantile","epsilon":0.1}]}"#
-        )
-        .is_err());
+        assert!(parse_query(r#"{"dataset":"a","seed":1,"queries":[{"epsilon":0.1}]}"#).is_err());
     }
 
     #[test]
@@ -314,5 +435,40 @@ mod tests {
             body,
             r#"{"kind":"mean","error":{"code":"budget_exhausted","requested":0.5,"available":0.125}}"#
         );
+    }
+
+    #[test]
+    fn released_outcomes_echo_assumption_metadata() {
+        let body = outcome_json(&QueryOutcome::Released {
+            kind: "kv18",
+            assumptions: &["A1", "A2", "A3"],
+            privacy: "ε-DP",
+            values: vec![1.5],
+            epsilon_charged: 0.2,
+            release: ReleaseInfo::Raw,
+        })
+        .to_compact();
+        assert!(body.contains(r#""assumptions":["A1","A2","A3"]"#), "{body}");
+        assert!(body.contains(r#""privacy":"ε-DP""#), "{body}");
+    }
+
+    #[test]
+    fn estimator_listing_renders_params() {
+        let catalog = crate::engine::EstimatorCatalog::standard();
+        let body = estimators_response(catalog.iter());
+        let doc = JsonValue::parse(&body).unwrap();
+        let rows = doc
+            .as_object("listing")
+            .unwrap()
+            .get_array("estimators")
+            .unwrap();
+        assert!(rows.len() >= 16, "got {} estimators", rows.len());
+        let kv18 = rows
+            .iter()
+            .map(|r| r.as_object("row").unwrap())
+            .find(|r| r.get_str("name").unwrap() == "kv18")
+            .expect("kv18 listed");
+        assert_eq!(kv18.get_str("statistic").unwrap(), "mean");
+        assert_eq!(kv18.get_array("params").unwrap().len(), 3);
     }
 }

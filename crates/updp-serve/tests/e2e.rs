@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use updp_core::json::JsonValue;
 use updp_dist::ContinuousDistribution;
-use updp_serve::client::{query_body, ClientError, Connection};
+use updp_serve::client::{query_body, query_body_named, ClientError, Connection, NamedQuery};
 use updp_serve::{Ledger, Server};
 
 fn temp_ledger(tag: &str) -> PathBuf {
@@ -200,6 +200,157 @@ fn raw_mode_and_dataset_lifecycle() {
         .request_raw("POST", "/v1/query", "{ not json")
         .unwrap();
     assert_eq!(status, 400);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn baselines_by_name_with_assumptions_and_unknown_estimator_error() {
+    let (addr, server) = start(Ledger::in_memory());
+    let mut client = Connection::open(&addr).expect("connect");
+    client.register("b", 10.0, &gaussian(4_000)).unwrap();
+
+    // The estimator catalog is discoverable.
+    let listing = client.request("GET", "/v1/estimators", "").unwrap();
+    for name in ["mean", "kv18", "coinpress", "dl09", "nonprivate"] {
+        assert!(
+            listing.contains(&format!("\"name\":\"{name}\"")),
+            "{listing}"
+        );
+    }
+
+    // A baseline batch by name, with required-assumption metadata
+    // echoed back, bit-identical on a repeated seed.
+    let batch = |seed: u64| {
+        query_body_named(
+            "b",
+            seed,
+            true,
+            &[
+                NamedQuery {
+                    estimator: "kv18",
+                    epsilon: 0.2,
+                    params: vec![("r", 1000.0), ("sigma_min", 0.1), ("sigma_max", 100.0)],
+                },
+                NamedQuery {
+                    estimator: "naive_clip",
+                    epsilon: 0.2,
+                    params: vec![("r", 1000.0)],
+                },
+            ],
+        )
+    };
+    let first = client.query(&batch(7)).unwrap();
+    let repeat = client.query(&batch(7)).unwrap();
+    assert_eq!(results_of(&first), results_of(&repeat));
+    assert!(first.contains(r#""kind":"kv18""#), "{first}");
+    assert!(
+        first.contains(r#""assumptions":["A1","A2","A3"]"#),
+        "{first}"
+    );
+    assert!(first.contains(r#""assumptions":["A1"]"#), "{first}");
+
+    // Unknown estimator: structured, named error before any budget.
+    let err = client.query(&query_body_named(
+        "b",
+        1,
+        true,
+        &[NamedQuery {
+            estimator: "mode",
+            epsilon: 0.1,
+            params: vec![],
+        }],
+    ));
+    let Err(ClientError::Status { status, body }) = err else {
+        panic!("expected unknown-estimator error, got {err:?}");
+    };
+    assert_eq!(status, 400);
+    assert!(body.contains(r#""code":"unknown_estimator""#), "{body}");
+    assert!(body.contains("kv18"), "lists known names: {body}");
+
+    // Missing required baseline parameter: bad_query before budget.
+    let err = client.query(&query_body_named(
+        "b",
+        1,
+        true,
+        &[NamedQuery {
+            estimator: "kv18",
+            epsilon: 0.1,
+            params: vec![],
+        }],
+    ));
+    let Err(ClientError::Status { status, body }) = err else {
+        panic!("expected bad_query, got {err:?}");
+    };
+    assert_eq!(status, 400);
+    assert!(
+        body.contains("sigma_min") || body.contains("missing required"),
+        "{body}"
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn append_invalidates_the_cached_snapshot_over_the_wire() {
+    // Regression for the PreparedDataset cache: a cached quantile
+    // query, then an append that shifts the distribution wholesale —
+    // the next query (same seed) must see the new rows, not a stale
+    // cached grid.
+    let (addr, server) = start(Ledger::in_memory());
+    let mut client = Connection::open(&addr).expect("connect");
+    // 4k points near 50.
+    client.register("acc", 1e6, &gaussian(4_000)).unwrap();
+
+    let median = |client: &mut Connection, seed: u64| -> f64 {
+        let body = client
+            .query(&query_body(
+                "acc",
+                seed,
+                true,
+                &[("quantile", 0.5, Some(0.5))],
+            ))
+            .unwrap();
+        let doc = JsonValue::parse(&body).unwrap();
+        let results = doc
+            .as_object("response")
+            .unwrap()
+            .get_array("results")
+            .unwrap()
+            .to_vec();
+        results[0]
+            .as_object("result")
+            .unwrap()
+            .get_array("values")
+            .unwrap()[0]
+            .as_f64("value")
+            .unwrap()
+    };
+
+    let before = median(&mut client, 3);
+    assert!((before - 50.0).abs() < 5.0, "pre-append median {before}");
+
+    // Append 40k points near 5000: the true median moves to ~5000.
+    let mut far = Vec::with_capacity(40_000);
+    let mut rng = updp_core::rng::seeded(0xAFFE);
+    let g = updp_dist::Gaussian::new(5_000.0, 5.0).expect("valid parameters");
+    for _ in 0..40_000 {
+        far.push(g.sample(&mut rng));
+    }
+    let body = JsonValue::object(vec![
+        ("name", "acc".into()),
+        ("data", JsonValue::numbers(&far)),
+    ])
+    .to_compact();
+    client.request("POST", "/v1/append", &body).unwrap();
+
+    let after = median(&mut client, 3);
+    assert!(
+        (after - 5_000.0).abs() < 100.0,
+        "post-append median {after} ignored the appended rows"
+    );
 
     client.shutdown().unwrap();
     server.join().unwrap().unwrap();

@@ -18,7 +18,8 @@ use crate::iqr_lower_bound::estimate_iqr_lower_bound;
 use rand::Rng;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::privacy::Epsilon;
-use updp_empirical::discretize::real_quantile;
+use updp_empirical::discretize::real_quantile_view;
+use updp_empirical::view::{ColumnCache, ColumnView};
 
 /// Diagnostics accompanying a universal IQR estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +44,27 @@ pub fn estimate_iqr<R: Rng + ?Sized>(
     epsilon: Epsilon,
     beta: f64,
 ) -> Result<IqrEstimate> {
+    estimate_iqr_view(rng, &ColumnView::bare(data), epsilon, beta)
+}
+
+/// [`estimate_iqr`] over a [`ColumnView`]: the discretized grid for
+/// the privately-chosen bucket is reused both *within* a call (the
+/// two quartiles always share one bucket — a throwaway local cache is
+/// attached when the caller's view has none, so every call pays one
+/// `O(n log n)` build instead of two) and *across* calls on the same
+/// dataset snapshot. Bit-identical to [`estimate_iqr`] for the same
+/// seed.
+pub fn estimate_iqr_view<R: Rng + ?Sized>(
+    rng: &mut R,
+    view: &ColumnView<'_>,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<IqrEstimate> {
+    if !view.has_cache() {
+        let cache = ColumnCache::new();
+        return estimate_iqr_view(rng, &ColumnView::cached(view.data(), &cache), epsilon, beta);
+    }
+    let data = view.data();
     ensure_finite(data, "estimate_iqr input")?;
     let n = data.len();
     if n < MIN_N {
@@ -63,8 +85,8 @@ pub fn estimate_iqr<R: Rng + ?Sized>(
     let lb = estimate_iqr_lower_bound(rng, data, third, beta / 6.0)?;
     let bucket = (lb / n as f64).max(f64::MIN_POSITIVE);
 
-    let q1 = real_quantile(rng, data, n / 4, bucket, third, beta / 6.0)?;
-    let q3 = real_quantile(rng, data, 3 * n / 4, bucket, third, beta / 6.0)?;
+    let q1 = real_quantile_view(rng, view, n / 4, bucket, third, beta / 6.0)?;
+    let q3 = real_quantile_view(rng, view, 3 * n / 4, bucket, third, beta / 6.0)?;
 
     Ok(IqrEstimate {
         estimate: q3 - q1,

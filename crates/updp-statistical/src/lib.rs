@@ -33,12 +33,19 @@ pub mod quantile;
 mod scratch;
 pub mod variance;
 
-pub use estimator::{AllEstimates, UniversalEstimator, DEFAULT_BETA};
-pub use iqr::{estimate_iqr, IqrEstimate};
+pub use estimator::{
+    check_declared, universal_estimators, AllEstimates, ColumnCache, ColumnView, DataView,
+    EstimateParams, Estimator, ParamSpec, PreparedDataset, Release, UniversalEstimator,
+    UniversalIqr, UniversalMean, UniversalMultiMean, UniversalQuantile, UniversalVariance,
+    DEFAULT_BETA,
+};
+pub use iqr::{estimate_iqr, estimate_iqr_view, IqrEstimate};
 pub use iqr_lower_bound::{estimate_iqr_lower_bound, pair_gaps, Gaps};
 pub use mean::{
     estimate_mean, estimate_mean_with_bucket, estimate_mean_with_subsample, MeanEstimate,
 };
 pub use multivariate::{estimate_mean_multivariate, l2_distance, MultivariateMeanEstimate};
-pub use quantile::{estimate_quantile, estimate_quantile_range, QuantileEstimate};
+pub use quantile::{
+    estimate_quantile, estimate_quantile_range, estimate_quantile_view, QuantileEstimate,
+};
 pub use variance::{estimate_variance, VarianceEstimate};

@@ -20,7 +20,8 @@ use crate::iqr_lower_bound::estimate_iqr_lower_bound;
 use rand::Rng;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::privacy::Epsilon;
-use updp_empirical::discretize::real_quantile;
+use updp_empirical::discretize::real_quantile_view;
+use updp_empirical::view::{ColumnCache, ColumnView};
 
 /// Diagnostics accompanying a universal quantile estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,12 +73,29 @@ pub fn estimate_quantile<R: Rng + ?Sized>(
     epsilon: Epsilon,
     beta: f64,
 ) -> Result<QuantileEstimate> {
+    estimate_quantile_view(rng, &ColumnView::bare(data), q, epsilon, beta)
+}
+
+/// [`estimate_quantile`] over a [`ColumnView`]: with a cached view the
+/// discretized grid for the privately-chosen bucket is built once per
+/// `(dataset version, bucket)` and reused across calls — turning
+/// repeated same-dataset quantile queries from `O(n log n)` each into
+/// `O(n log n)` once (the per-query work stays `O(n)` for the pair-gap
+/// scan). Bit-identical to [`estimate_quantile`] for the same seed.
+pub fn estimate_quantile_view<R: Rng + ?Sized>(
+    rng: &mut R,
+    view: &ColumnView<'_>,
+    q: f64,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<QuantileEstimate> {
+    let data = view.data();
     let n = validate(data, q, beta)?;
     let half = epsilon.scale(0.5);
     let lb = estimate_iqr_lower_bound(rng, data, half, beta / 2.0)?;
     let bucket = (lb / n as f64).max(f64::MIN_POSITIVE);
     let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-    let estimate = real_quantile(rng, data, rank, bucket, half, beta / 2.0)?;
+    let estimate = real_quantile_view(rng, view, rank, bucket, half, beta / 2.0)?;
     Ok(QuantileEstimate {
         estimate,
         q,
@@ -110,8 +128,12 @@ pub fn estimate_quantile_range<R: Rng + ?Sized>(
     let bucket = (lb / n as f64).max(f64::MIN_POSITIVE);
     let rank_lo = ((q_lo * n as f64).ceil() as usize).clamp(1, n);
     let rank_hi = ((q_hi * n as f64).ceil() as usize).clamp(1, n);
-    let lo = real_quantile(rng, data, rank_lo, bucket, third, beta / 6.0)?;
-    let hi = real_quantile(rng, data, rank_hi, bucket, third, beta / 6.0)?;
+    // Both order statistics share one bucket: a throwaway local cache
+    // builds the discretized grid once instead of twice.
+    let cache = ColumnCache::new();
+    let view = ColumnView::cached(data, &cache);
+    let lo = real_quantile_view(rng, &view, rank_lo, bucket, third, beta / 6.0)?;
+    let hi = real_quantile_view(rng, &view, rank_hi, bucket, third, beta / 6.0)?;
     Ok(hi - lo)
 }
 

@@ -31,8 +31,8 @@
 //! | [`core`] | `updp-core` | DP primitives: Laplace, SVT, exponential & inverse-sensitivity mechanisms, budgets |
 //! | [`dist`] | `updp-dist` | distributions with exact ground-truth functionals (`ϕ(β)`, `θ(κ)`, `μ_k`, …) |
 //! | [`empirical`] | `updp-empirical` | §3 instance-optimal empirical estimators over unbounded domains |
-//! | [`statistical`] | `updp-statistical` | §4–6 universal estimators (`EstimateMean`/`Variance`/`IQR`) |
-//! | [`baselines`] | `updp-baselines` | Table 1 comparators: KV18, CoinPress, KSU20, BS19, DL09 |
+//! | [`statistical`] | `updp-statistical` | §4–6 universal estimators (`EstimateMean`/`Variance`/`IQR`) + the workspace [`Estimator`](statistical::Estimator) trait |
+//! | [`baselines`] | `updp-baselines` | Table 1 comparators: KV18, CoinPress, KSU20, BS19, DL09 — all behind the `Estimator` catalog |
 //!
 //! The [`prelude`] pulls in the handful of names most applications need.
 //!
@@ -59,7 +59,8 @@ pub mod prelude {
     pub use updp_dist::ContinuousDistribution;
     pub use updp_statistical::{
         estimate_iqr, estimate_mean, estimate_mean_multivariate, estimate_quantile,
-        estimate_quantile_range, estimate_variance, IqrEstimate, MeanEstimate,
-        MultivariateMeanEstimate, QuantileEstimate, UniversalEstimator, VarianceEstimate,
+        estimate_quantile_range, estimate_variance, DataView, EstimateParams, Estimator,
+        IqrEstimate, MeanEstimate, MultivariateMeanEstimate, PreparedDataset, QuantileEstimate,
+        Release, UniversalEstimator, VarianceEstimate,
     };
 }
