@@ -15,9 +15,11 @@
 //!   `updp_statistical::estimator::Estimator::estimate`;
 //! * [`PreparedDataset`] — an immutable snapshot owning columns *and*
 //!   caches, shared as `Arc<PreparedDataset>` by the serving registry;
-//!   `append` derives a **new** snapshot (fresh caches, bumped
-//!   version), so cached artifacts can never leak across data
-//!   versions.
+//!   `append` derives a **new** snapshot (bumped version) whose warm
+//!   artifacts are merge-maintained from the parent in `O(n + k)`
+//!   rather than rebuilt, so cached artifacts can never leak across
+//!   data versions yet appends never pay the cold `O(n log n)` path
+//!   twice.
 //!
 //! # Determinism contract (DESIGN.md §7)
 //!
@@ -33,18 +35,30 @@
 use crate::dataset::SortedInts;
 use crate::discretize::Discretizer;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use updp_core::error::Result;
+
+/// How many grids [`PreparedDataset::append`] carries forward to the
+/// successor snapshot (most recently built first). Quantile/IQR
+/// buckets are `IQR̲/n`, so a growing dataset retires old buckets as
+/// `n` advances; merging every historical grid into every successor
+/// would make publication cost `O(G·n)` and hold dead grids alive
+/// forever. The freshest few cover the live buckets.
+pub const MAX_CARRIED_GRIDS: usize = 4;
 
 /// Lazily-built, thread-safe artifacts of one `f64` column.
 ///
 /// Both artifacts are built at most once per cache (the grid: once per
 /// distinct bucket size) and shared as `Arc`s, so concurrent readers
-/// never block each other after the first build.
+/// never block each other after the first build. Each grid is stamped
+/// with a build counter so [`ColumnCache::successor`] can carry the
+/// freshest [`MAX_CARRIED_GRIDS`] forward.
 #[derive(Debug, Default)]
 pub struct ColumnCache {
     sorted: OnceLock<Arc<Vec<f64>>>,
-    grids: RwLock<HashMap<u64, Arc<SortedInts>>>,
+    grids: RwLock<HashMap<u64, (u64, Arc<SortedInts>)>>,
+    stamp: AtomicU64,
 }
 
 impl ColumnCache {
@@ -56,6 +70,72 @@ impl ColumnCache {
     /// Number of distinct bucket sizes with a cached grid (diagnostic).
     pub fn cached_grids(&self) -> usize {
         self.grids.read().unwrap().len()
+    }
+
+    /// Whether the sorted copy has been built (diagnostic; never
+    /// triggers a build).
+    pub fn has_sorted(&self) -> bool {
+        self.sorted.get().is_some()
+    }
+
+    /// Derives the cache of the `old ++ delta` successor column,
+    /// carrying **warm** artifacts forward instead of discarding them
+    /// (DESIGN.md §8).
+    ///
+    /// * Sorted copy built → sort only the `k`-row `delta` and merge
+    ///   the two `total_cmp`-sorted runs in `O(n + k)`. `total_cmp` is
+    ///   a total order on bit patterns (elements that compare equal
+    ///   are bit-identical), so the merge is bit-identical to a fresh
+    ///   full sort of the concatenation.
+    /// * The [`MAX_CARRIED_GRIDS`] most recently built grids →
+    ///   discretize the sorted `delta` (monotone map, already sorted)
+    ///   and merge it into the parent's [`SortedInts`] in `O(n + k)`.
+    ///   A delta value the bucket cannot map (overflow) drops that
+    ///   grid instead: the successor rebuilds lazily and reports the
+    ///   canonical data-order error.
+    /// * Cold parent (nothing built) → empty cache, exactly the
+    ///   historical lazy behaviour.
+    fn successor(&self, delta: &[f64]) -> ColumnCache {
+        let Some(parent_sorted) = self.sorted.get() else {
+            // Grids force the sorted copy first (see `grid`), so a
+            // missing sorted copy implies no grids either.
+            return ColumnCache::new();
+        };
+        let mut sorted_delta = delta.to_vec();
+        sorted_delta.sort_by(f64::total_cmp);
+        let merged = merge_sorted_f64(parent_sorted, &sorted_delta);
+
+        // Freshest grids first; older buckets (typically retired by
+        // the `n`-dependent bucket choice) rebuild lazily if ever
+        // queried again.
+        let mut carried: Vec<(u64, u64, Arc<SortedInts>)> = self
+            .grids
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&key, (stamp, grid))| (*stamp, key, grid.clone()))
+            .collect();
+        carried.sort_by_key(|&(stamp, _, _)| std::cmp::Reverse(stamp));
+        carried.truncate(MAX_CARRIED_GRIDS);
+
+        let successor = ColumnCache::new();
+        let _ = successor.sorted.set(Arc::new(merged));
+        {
+            let mut grids = successor.grids.write().unwrap();
+            // Reverse order: oldest carried grid stamped first, so
+            // relative recency survives chained appends.
+            for (_, key, grid) in carried.into_iter().rev() {
+                let Ok(disc) = Discretizer::new(f64::from_bits(key)) else {
+                    continue;
+                };
+                let ints: Result<Vec<i64>> = sorted_delta.iter().map(|&x| disc.to_int(x)).collect();
+                if let Ok(ints) = ints {
+                    let stamp = successor.stamp.fetch_add(1, Ordering::Relaxed);
+                    grids.insert(key, (stamp, Arc::new(grid.merge_sorted(&ints))));
+                }
+            }
+        }
+        successor
     }
 
     fn sorted(&self, data: &[f64]) -> Arc<Vec<f64>> {
@@ -70,7 +150,7 @@ impl ColumnCache {
 
     fn grid(&self, data: &[f64], bucket: f64) -> Result<Arc<SortedInts>> {
         let key = bucket.to_bits();
-        if let Some(hit) = self.grids.read().unwrap().get(&key) {
+        if let Some((_, hit)) = self.grids.read().unwrap().get(&key) {
             return Ok(hit.clone());
         }
         let grid = Arc::new(build_grid(
@@ -80,12 +160,14 @@ impl ColumnCache {
         )?);
         // Racing builders compute identical grids (the build is a pure
         // function of the column and the bucket); first insert wins.
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
         Ok(self
             .grids
             .write()
             .unwrap()
             .entry(key)
-            .or_insert(grid)
+            .or_insert((stamp, grid))
+            .1
             .clone())
     }
 }
@@ -112,6 +194,14 @@ fn build_grid(data: &[f64], sorted: Option<&[f64]>, bucket: f64) -> Result<Sorte
         }
         None => disc.discretize(data),
     }
+}
+
+/// Merges two `total_cmp`-sorted runs in `O(n + k)`. Under `total_cmp`
+/// elements that compare equal have identical bit patterns, so the
+/// merged sequence is bit-identical to sorting the concatenation from
+/// scratch — regardless of how ties are broken.
+fn merge_sorted_f64(a: &[f64], b: &[f64]) -> Vec<f64> {
+    crate::dataset::merge_sorted_by(a, b, |x, y| x.total_cmp(y).is_le())
 }
 
 /// One column of a [`DataView`]: the raw data plus an optional cache.
@@ -179,6 +269,12 @@ impl<'a> ColumnView<'a> {
     /// views) — a cache-effect diagnostic.
     pub fn cached_grids(&self) -> usize {
         self.cache.map_or(0, ColumnCache::cached_grids)
+    }
+
+    /// Whether the attached cache holds a built sorted copy (false for
+    /// bare views) — a cache-effect diagnostic.
+    pub fn has_sorted(&self) -> bool {
+        self.cache.is_some_and(ColumnCache::has_sorted)
     }
 
     /// Whether a [`ColumnCache`] is attached (callers that benefit
@@ -252,8 +348,10 @@ impl<'a> DataView<'a> {
 /// The serving registry stores `Arc<PreparedDataset>`; queries clone
 /// the `Arc` and estimate without holding any registry lock. Mutation
 /// is copy-on-write: [`PreparedDataset::append`] builds a **new**
-/// snapshot with fresh (empty) caches and `version + 1`, so a cached
-/// sorted copy or grid can never describe stale data.
+/// snapshot at `version + 1`, so a cached sorted copy or grid can
+/// never describe stale data — warm parent artifacts are carried
+/// forward by an `O(n + k)` merge (bit-identical to a fresh build),
+/// cold ones stay lazy.
 #[derive(Debug)]
 pub struct PreparedDataset {
     columns: Vec<Vec<f64>>,
@@ -315,7 +413,16 @@ impl PreparedDataset {
 
     /// Derives the post-append snapshot: `extra` columns (same
     /// dimension, validated by the caller) concatenated onto copies of
-    /// the current columns, with fresh caches and a bumped version.
+    /// the current columns, with a bumped version.
+    ///
+    /// **Warm caches are carried forward incrementally** (DESIGN.md
+    /// §8): a built sorted copy is extended by merging the sorted
+    /// `k`-row delta in `O(n + k)` instead of re-sorting, and each
+    /// built discretized grid absorbs the delta the same way. Both
+    /// merge-maintained artifacts are bit-identical to what a fresh
+    /// build over the concatenated column would produce (pinned by the
+    /// append-equivalence suite), so this is purely a cost change.
+    /// Artifacts the parent never built stay lazy, exactly as before.
     pub fn append(&self, extra: &[Vec<f64>]) -> PreparedDataset {
         debug_assert_eq!(extra.len(), self.columns.len());
         let columns: Vec<Vec<f64>> = self
@@ -329,7 +436,12 @@ impl PreparedDataset {
                 merged
             })
             .collect();
-        let caches = columns.iter().map(|_| ColumnCache::new()).collect();
+        let caches = self
+            .caches
+            .iter()
+            .zip(extra)
+            .map(|(cache, delta)| cache.successor(delta))
+            .collect();
         PreparedDataset {
             columns,
             caches,
@@ -419,6 +531,138 @@ mod tests {
         // The old snapshot is untouched (readers mid-query are safe).
         assert_eq!(prepared.len(), 3);
         assert_eq!(prepared.view().col(0).sorted().as_slice(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn warm_append_carries_caches_forward_bitwise() {
+        let parent = PreparedDataset::new(vec![vec![5.0, 1.0, 3.0, -0.0, 0.0]]);
+        // Warm both artifacts on the parent.
+        let _ = parent.view().col(0).sorted();
+        let _ = parent.view().col(0).grid(0.5).unwrap();
+        let _ = parent.view().col(0).grid(2.0).unwrap();
+
+        let next = parent.append(&[vec![2.5, -1.0, 0.0]]);
+        // The successor starts warm: no lazy build has run yet, but
+        // the sorted copy and both grids are already present…
+        assert!(next.view().col(0).has_sorted());
+        assert_eq!(next.view().col(0).cached_grids(), 2);
+        // …and bit-identical to a fresh cold build over the same rows.
+        let fresh = PreparedDataset::new(next.columns().to_vec());
+        let merged_sorted = next.view().col(0).sorted();
+        let fresh_sorted = fresh.view().col(0).sorted();
+        assert_eq!(merged_sorted.len(), fresh_sorted.len());
+        for (a, b) in merged_sorted.iter().zip(fresh_sorted.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for bucket in [0.5, 2.0] {
+            assert_eq!(
+                *next.view().col(0).grid(bucket).unwrap(),
+                *fresh.view().col(0).grid(bucket).unwrap(),
+                "bucket {bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_carries_only_the_freshest_grids() {
+        let parent = PreparedDataset::new(vec![(0..256).map(|i| i as f64 * 0.37).collect()]);
+        let view = parent.view();
+        let _ = view.col(0).sorted();
+        // Build MAX_CARRIED_GRIDS + 3 grids; only the freshest
+        // MAX_CARRIED_GRIDS survive the append.
+        let buckets: Vec<f64> = (0..MAX_CARRIED_GRIDS + 3)
+            .map(|i| 0.5 + i as f64 * 0.25)
+            .collect();
+        for &bucket in &buckets {
+            let _ = view.col(0).grid(bucket).unwrap();
+        }
+        let next = parent.append(&[vec![1.0, 2.0]]);
+        assert_eq!(next.view().col(0).cached_grids(), MAX_CARRIED_GRIDS);
+        // The carried ones are the most recently built, still bitwise
+        // equal to a fresh build — and a second append keeps carrying
+        // them (relative recency survives the chain).
+        let fresh = PreparedDataset::new(next.columns().to_vec());
+        for &bucket in &buckets[buckets.len() - MAX_CARRIED_GRIDS..] {
+            assert_eq!(
+                *next.view().col(0).grid(bucket).unwrap(),
+                *fresh.view().col(0).grid(bucket).unwrap(),
+                "bucket {bucket}"
+            );
+        }
+        let third = next.append(&[vec![3.0]]);
+        assert_eq!(third.view().col(0).cached_grids(), MAX_CARRIED_GRIDS);
+    }
+
+    #[test]
+    fn cold_append_stays_lazy() {
+        let parent = PreparedDataset::new(vec![vec![2.0, 1.0]]);
+        let next = parent.append(&[vec![3.0]]);
+        assert!(!next.view().col(0).has_sorted());
+        assert_eq!(next.view().col(0).cached_grids(), 0);
+        assert_eq!(next.view().col(0).sorted().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unmappable_delta_drops_the_grid_and_keeps_the_canonical_error() {
+        // Parent grid builds fine; the delta overflows the bucket's
+        // integer range, so the carried grid must be dropped and the
+        // lazy rebuild must report the same error as a cold build.
+        let parent = PreparedDataset::new(vec![vec![1.0, 2.0]]);
+        let _ = parent.view().col(0).sorted();
+        let _ = parent.view().col(0).grid(1e-3).unwrap();
+        let next = parent.append(&[vec![1e30]]);
+        assert!(next.view().col(0).has_sorted(), "sorted copy still warm");
+        assert_eq!(next.view().col(0).cached_grids(), 0, "bad grid dropped");
+        let err = format!("{}", next.view().col(0).grid(1e-3).unwrap_err());
+        let reference = format!(
+            "{}",
+            Discretizer::new(1e-3)
+                .unwrap()
+                .discretize(next.columns()[0].as_slice())
+                .unwrap_err()
+        );
+        assert_eq!(err, reference);
+        // A NaN delta likewise drops grids (NaN cannot discretize) but
+        // keeps the sorted copy warm — total_cmp orders NaN fine.
+        let nan = parent.append(&[vec![f64::NAN]]);
+        assert!(nan.view().col(0).has_sorted());
+        assert_eq!(nan.view().col(0).cached_grids(), 0);
+        assert!(nan.view().col(0).sorted().last().unwrap().is_nan());
+    }
+
+    #[test]
+    fn merge_sorted_f64_is_bit_identical_to_full_sort() {
+        // Ties under total_cmp are bit-identical, so any merge order
+        // equals the full sort — including NaNs and signed zeros.
+        let a = vec![-1.0, -0.0, 0.0, 2.0, f64::NAN];
+        let b = vec![f64::NEG_INFINITY, -0.0, 0.0, 2.0, 3.0];
+        let mut sa = a.clone();
+        sa.sort_by(f64::total_cmp);
+        let mut sb = b.clone();
+        sb.sort_by(f64::total_cmp);
+        let merged = merge_sorted_f64(&sa, &sb);
+        let mut full: Vec<f64> = a.iter().chain(&b).copied().collect();
+        full.sort_by(f64::total_cmp);
+        assert_eq!(merged.len(), full.len());
+        for (x, y) in merged.iter().zip(&full) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_delta_append_keeps_artifacts() {
+        let parent = PreparedDataset::new(vec![vec![3.0, 1.0]]);
+        let _ = parent.view().col(0).sorted();
+        let _ = parent.view().col(0).grid(1.0).unwrap();
+        let next = parent.append(&[vec![]]);
+        assert_eq!(next.version(), 1);
+        assert_eq!(next.len(), 2);
+        assert!(next.view().col(0).has_sorted());
+        assert_eq!(next.view().col(0).sorted().as_slice(), &[1.0, 3.0]);
+        assert_eq!(
+            *next.view().col(0).grid(1.0).unwrap(),
+            *parent.view().col(0).grid(1.0).unwrap()
+        );
     }
 
     #[test]

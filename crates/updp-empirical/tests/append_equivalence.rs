@@ -1,0 +1,148 @@
+//! The streaming-append determinism contract (DESIGN.md §8), pinned
+//! property-style: across random append sequences — including `NaN`,
+//! `-0.0`, infinities, and duplicated values — every merge-maintained
+//! artifact of a [`PreparedDataset`] chain is **bitwise identical** to
+//! the artifact a fresh cold build over the concatenated column would
+//! produce, and artifact *errors* (unmappable grids) are identical
+//! too. This is what makes `append` purely a cost optimization: no
+//! released bit can depend on whether a snapshot was reached by
+//! appends or by bulk registration.
+
+use proptest::prelude::*;
+use updp_empirical::view::PreparedDataset;
+
+/// Replaces a mask-selected subset of `values` with adversarial bit
+/// patterns (`NaN`, `-0.0`, `±inf`, huge magnitudes, denormals) so the
+/// property covers the full `total_cmp` order, not just "nice" reals.
+fn inject_specials(values: &mut [f64], mask: u64) {
+    const SPECIALS: [f64; 8] = [
+        f64::NAN,
+        -0.0,
+        0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1e300,
+        -1e300,
+        f64::MIN_POSITIVE / 2.0, // a subnormal
+    ];
+    if values.is_empty() {
+        return;
+    }
+    for bit in 0..64usize {
+        if mask & (1 << bit) != 0 {
+            let i = bit % values.len();
+            values[i] = SPECIALS[bit % SPECIALS.len()];
+        }
+    }
+}
+
+/// Asserts that the warm (append-maintained) snapshot and a fresh
+/// cold build over the same rows agree bitwise on the sorted copy and
+/// on every probed grid — values and errors alike.
+fn assert_bitwise_equivalent(warm: &PreparedDataset, buckets: &[f64]) {
+    let fresh = PreparedDataset::new(warm.columns().to_vec());
+    let warm_sorted = warm.view().col(0).sorted();
+    let fresh_sorted = fresh.view().col(0).sorted();
+    assert_eq!(warm_sorted.len(), fresh_sorted.len());
+    for (i, (a, b)) in warm_sorted.iter().zip(fresh_sorted.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "sorted[{i}] diverged: {a:?} vs {b:?}"
+        );
+    }
+    for &bucket in buckets {
+        match (
+            warm.view().col(0).grid(bucket),
+            fresh.view().col(0).grid(bucket),
+        ) {
+            (Ok(w), Ok(f)) => assert_eq!(*w, *f, "grid for bucket {bucket} diverged"),
+            (Err(w), Err(f)) => assert_eq!(
+                w.to_string(),
+                f.to_string(),
+                "grid error for bucket {bucket} diverged"
+            ),
+            (w, f) => panic!("bucket {bucket}: warm {w:?} vs fresh {f:?}"),
+        }
+    }
+}
+
+const BUCKETS: [f64; 3] = [0.25, 1.0, 17.5];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random base column + up to four random append deltas, with
+    /// adversarial bit patterns injected into both: after every link
+    /// of the chain, the merge-maintained snapshot equals a fresh
+    /// build bitwise (sorted copy and all probed grids).
+    #[test]
+    fn append_chain_matches_fresh_builds(
+        mut base in prop::collection::vec(-1e6f64..1e6, 1..48),
+        mut flat in prop::collection::vec(-1e6f64..1e6, 0..48),
+        cuts in prop::collection::vec(0usize..48, 1..4),
+        base_mask in 0u64..(1 << 16),
+        delta_mask in 0u64..(1 << 16),
+    ) {
+        inject_specials(&mut base, base_mask);
+        inject_specials(&mut flat, delta_mask);
+
+        // Split the flat delta pool into an append sequence.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (flat.len() + 1)).collect();
+        bounds.sort_unstable();
+        bounds.push(flat.len());
+        let mut deltas: Vec<Vec<f64>> = Vec::new();
+        let mut start = 0usize;
+        for &end in &bounds {
+            deltas.push(flat[start..end.max(start)].to_vec());
+            start = start.max(end);
+        }
+
+        let mut warm = PreparedDataset::new(vec![base]);
+        for (i, delta) in deltas.iter().enumerate() {
+            // Warm every artifact so the append exercises the merge
+            // carry-forward path, not the lazy one.
+            let _ = warm.view().col(0).sorted();
+            for &bucket in &BUCKETS {
+                let _ = warm.view().col(0).grid(bucket);
+            }
+            warm = warm.append(std::slice::from_ref(delta));
+            prop_assert_eq!(warm.version(), i as u64 + 1);
+            assert_bitwise_equivalent(&warm, &BUCKETS);
+        }
+    }
+
+    /// The cold chain (no artifact ever built before the appends) must
+    /// agree too — appends on lazy snapshots stay lazy and correct.
+    #[test]
+    fn cold_append_chain_matches_fresh_builds(
+        base in prop::collection::vec(-1e3f64..1e3, 1..32),
+        delta in prop::collection::vec(-1e3f64..1e3, 0..32),
+    ) {
+        let warm = PreparedDataset::new(vec![base]).append(&[delta]);
+        assert_bitwise_equivalent(&warm, &BUCKETS);
+    }
+}
+
+/// The deterministic worst-case column: every special value the
+/// `total_cmp` order distinguishes, duplicated, appended in slices —
+/// the NaN/-0.0 case the ISSUE calls out explicitly.
+#[test]
+fn nan_and_signed_zero_chain_is_bitwise_stable() {
+    let base = vec![1.0, -0.0, 0.0, f64::NAN, -1.0, 0.0, -0.0];
+    let deltas = [
+        vec![f64::NAN, -0.0],
+        vec![],
+        vec![0.0, 0.0, -0.0, f64::NEG_INFINITY],
+        vec![f64::INFINITY, 2.5, f64::NAN],
+    ];
+    let mut warm = PreparedDataset::new(vec![base]);
+    for delta in &deltas {
+        let _ = warm.view().col(0).sorted();
+        let _ = warm.view().col(0).grid(0.5);
+        warm = warm.append(std::slice::from_ref(delta));
+        assert_bitwise_equivalent(&warm, &[0.5, 2.0]);
+    }
+    assert_eq!(warm.len(), 7 + 2 + 4 + 3);
+    assert_eq!(warm.version(), 4);
+}

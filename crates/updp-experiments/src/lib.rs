@@ -21,6 +21,7 @@ pub mod empirical_exps;
 pub mod iqr_exps;
 pub mod mean_exps;
 pub mod multivariate_exps;
+pub mod streaming_exps;
 pub mod table;
 pub mod trial;
 pub mod variance_exps;
@@ -117,6 +118,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExpFn)> {
             "§1.2 extension: multivariate mean, d^{3/2} composition cost",
             multivariate_exps::multi_mean,
         ),
+        (
+            "streaming",
+            "DESIGN §8: error trajectory as records arrive (merge-maintained appends)",
+            streaming_exps::streaming,
+        ),
     ]
 }
 
@@ -139,7 +145,7 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]
@@ -172,6 +178,22 @@ mod tests {
         };
         let t = iqr_exps::iqr_lb(&cfg);
         assert_eq!(t.rows.len(), 6);
+    }
+
+    #[test]
+    fn smoke_streaming() {
+        let cfg = ExpConfig {
+            trials: 3,
+            quick: true,
+            ..ExpConfig::default()
+        };
+        let t = streaming_exps::streaming(&cfg);
+        assert_eq!(t.id, "streaming");
+        assert_eq!(t.rows.len(), 8, "one row per checkpoint");
+        // Quick mode streams 65_536/8 = 8_192 records; the first
+        // doubling checkpoint is 8_192 >> 7 = 64.
+        assert_eq!(t.rows[0][0], "64");
+        assert_eq!(t.rows[7][0], "8192");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…]
-//!         [--records N] [--quantile-records N] [--out PATH] [--check]
+//!         [--records N] [--quantile-records N]
+//!         [--streaming-ratio A:Q] [--out PATH] [--check]
 //! ```
 //!
 //! Without `--addr`, an in-process server is started on an ephemeral
@@ -24,14 +25,26 @@
 //! first hit). Cold vs warm p50/p99 in `BENCH_serve.json` is the
 //! before/after of the cache.
 //!
+//! The `streaming` workload (schema v3, DESIGN.md §8) measures the
+//! ingestion path on a warm `--quantile-records` dataset: each
+//! iteration issues `A` buffered 1-row appends, one `/v1/flush` (the
+//! whole burst publishes as ONE successor snapshot whose caches are
+//! merge-maintained in `O(n + k)`), then `Q` quantile queries against
+//! the freshly-published snapshot — `A:Q` from `--streaming-ratio`.
+//! Three rows land in the report: `streaming-append`,
+//! `streaming-flush`, and `streaming-query`. The acceptance number is
+//! `streaming-query` p50: with incremental cache maintenance it stays
+//! near the warm baseline instead of regressing to
+//! `repeat-quantile-cold`'s full re-sort.
+//!
 //! `--check` is the CI smoke mode (mirroring `bench_baseline
 //! --check`): tiny run, then an assertion that the report
 //! round-trips through the shared JSON codec. Nothing is written.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use updp_serve::client::{query_body, Connection};
 use updp_serve::report::{percentile_ms, LoadRun, ServeReport, SCHEMA};
-use updp_serve::{Ledger, Server};
+use updp_serve::{FlushPolicy, Ledger, Server};
 
 fn die(message: &str) -> ! {
     eprintln!("loadgen: {message}");
@@ -177,12 +190,72 @@ fn run_quantile_warm(addr: &str, requests: usize, records: usize) -> LoadRun {
     summarize("repeat-quantile-warm", 1, latencies, wall_ms)
 }
 
+/// The `streaming` workload: interleaved buffered appends, explicit
+/// flushes, and quantile queries on one warm dataset of `records`
+/// rows, at `append_ratio` appends per `query_ratio` queries per
+/// iteration. Returns the `streaming-append` / `streaming-flush` /
+/// `streaming-query` rows.
+fn run_streaming(
+    addr: &str,
+    iterations: usize,
+    records: usize,
+    append_ratio: usize,
+    query_ratio: usize,
+) -> Vec<LoadRun> {
+    let mut connection = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+    match connection.register("stream", 1e12, &gaussian(records, 0x57EA4)) {
+        Ok(_) | Err(updp_serve::client::ClientError::Status { status: 409, .. }) => {}
+        Err(e) => die(&format!("register stream: {e}")),
+    }
+    // Warm the snapshot's sorted copy + grid (untimed): the workload
+    // measures the steady streaming state, not the first cold query.
+    connection
+        .query(&quantile_query("stream", 0))
+        .unwrap_or_else(|e| die(&format!("warm-up query: {e}")));
+
+    let fresh_rows = gaussian(iterations * append_ratio, 0xF70C);
+    let mut fresh = fresh_rows.iter();
+    let mut append_lat = Vec::with_capacity(iterations * append_ratio);
+    let mut flush_lat = Vec::with_capacity(iterations);
+    let mut query_lat = Vec::with_capacity(iterations * query_ratio);
+    for i in 0..iterations {
+        for _ in 0..append_ratio {
+            let row = [*fresh.next().expect("pre-sampled row")];
+            let sent = Instant::now();
+            connection
+                .append("stream", &row)
+                .unwrap_or_else(|e| die(&format!("append stream: {e}")));
+            append_lat.push(sent.elapsed().as_secs_f64() * 1e3);
+        }
+        let sent = Instant::now();
+        connection
+            .flush("stream")
+            .unwrap_or_else(|e| die(&format!("flush stream: {e}")));
+        flush_lat.push(sent.elapsed().as_secs_f64() * 1e3);
+        for q in 0..query_ratio {
+            let seed = 1 + (i * query_ratio + q) as u64;
+            let sent = Instant::now();
+            connection
+                .query(&quantile_query("stream", seed))
+                .unwrap_or_else(|e| die(&format!("query stream: {e}")));
+            query_lat.push(sent.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let wall = |lat: &[f64]| lat.iter().sum::<f64>();
+    vec![
+        summarize("streaming-append", 1, append_lat.clone(), wall(&append_lat)),
+        summarize("streaming-flush", 1, flush_lat.clone(), wall(&flush_lat)),
+        summarize("streaming-query", 1, query_lat.clone(), wall(&query_lat)),
+    ]
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut requests = 500usize;
     let mut connections = vec![1usize, 8];
     let mut records = 10_000usize;
     let mut quantile_records = 100_000usize;
+    let mut streaming_ratio = "1:1".to_string();
     let mut out_path = "BENCH_serve.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -214,11 +287,17 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("bad --quantile-records"))
             }
+            "--streaming-ratio" => streaming_ratio = value("--streaming-ratio"),
             "--out" => out_path = value("--out"),
             "--check" => check = true,
-            _ => die("usage: loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…] [--records N] [--quantile-records N] [--out PATH] [--check]"),
+            _ => die("usage: loadgen [--addr HOST:PORT] [--requests N] [--connections a,b,…] [--records N] [--quantile-records N] [--streaming-ratio A:Q] [--out PATH] [--check]"),
         }
     }
+    let (append_ratio, query_ratio) = streaming_ratio
+        .split_once(':')
+        .and_then(|(a, q)| Some((a.trim().parse().ok()?, q.trim().parse().ok()?)))
+        .filter(|&(a, q): &(usize, usize)| a > 0 && q > 0)
+        .unwrap_or_else(|| die("bad --streaming-ratio, need A:Q with A, Q >= 1"));
     if check {
         requests = 5;
         connections = vec![1, 2];
@@ -226,12 +305,16 @@ fn main() {
         quantile_records = 2_000;
     }
 
-    // Self-contained mode: host an in-process server.
+    // Self-contained mode: host an in-process server. Its write
+    // buffer defers publication entirely to the streaming workload's
+    // explicit `/v1/flush` calls (row/age thresholds out of reach), so
+    // a burst of A appends demonstrably costs one snapshot.
     let mut server_thread = None;
     let addr = match addr {
         Some(addr) => addr,
         None => {
-            let server = Server::bind("127.0.0.1:0", Ledger::in_memory())
+            let policy = FlushPolicy::buffered(usize::MAX, Duration::from_secs(86_400));
+            let server = Server::bind_with_policy("127.0.0.1:0", Ledger::in_memory(), policy)
                 .unwrap_or_else(|e| die(&format!("bind: {e}")));
             let local = server.local_addr().expect("bound listener has an address");
             eprintln!("loadgen: in-process server on {local}");
@@ -258,16 +341,31 @@ fn main() {
     );
     runs.push(run_quantile_cold(&addr, q_requests, quantile_records));
     runs.push(run_quantile_warm(&addr, q_requests, quantile_records));
+    // The streaming ingestion triple (schema v3): buffered appends,
+    // one publication per flush, queries on freshly-published
+    // snapshots with merge-maintained caches.
+    let s_iterations = if check { 3 } else { requests.min(100) };
+    eprintln!(
+        "loadgen: streaming {append_ratio}:{query_ratio} ({s_iterations} iterations, {quantile_records} records)"
+    );
+    runs.extend(run_streaming(
+        &addr,
+        s_iterations,
+        quantile_records,
+        append_ratio,
+        query_ratio,
+    ));
     let report = ServeReport {
         schema: SCHEMA.into(),
         host_threads,
         dataset_records: records,
         quantile_records,
+        streaming_ratio: format!("{append_ratio}:{query_ratio}"),
         runs,
         note: if check {
             "smoke mode (--check): numbers are not a baseline".into()
         } else {
-            format!("hardened batch (mean + p90 + iqr) per request; repeat-quantile cold = fresh dataset per request (pre-cache cost), warm = one dataset repeatedly (PreparedDataset grid cache); host_threads = {host_threads}")
+            format!("hardened batch (mean + p90 + iqr) per request; repeat-quantile cold = fresh dataset per request (pre-cache cost), warm = one dataset repeatedly (PreparedDataset grid cache); streaming = buffered 1-row appends + flush (one snapshot per burst, caches merge-maintained) + quantile queries on the fresh snapshot; host_threads = {host_threads}")
         },
     };
 

@@ -6,6 +6,7 @@
 //! commands:
 //!   register NAME --budget E (--data x,y,… | --gaussian N)
 //!   append   NAME --data x,y,…
+//!   flush    NAME
 //!   drop     NAME
 //!   list
 //!   query    NAME --seed S [--raw] [--mean E] [--variance E]
@@ -119,12 +120,12 @@ fn main() {
                 .map(|text| parse_data(&text))
                 .unwrap_or_else(|| die("append needs --data"));
             args.finish();
-            let body = updp_core::json::JsonValue::object(vec![
-                ("name", name.as_str().into()),
-                ("data", updp_core::json::JsonValue::numbers(&data)),
-            ])
-            .to_compact();
-            connection.request("POST", "/v1/append", &body)
+            connection.append(&name, &data)
+        }
+        "flush" => {
+            let name = args.positional().unwrap_or_else(|| die("flush NAME"));
+            args.finish();
+            connection.flush(&name)
         }
         "drop" => {
             let name = args.positional().unwrap_or_else(|| die("drop NAME"));

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH]
+//!            [--buffer-rows N] [--buffer-age-ms MS]
 //! ```
 //!
 //! * `--addr` — bind address; default `127.0.0.1:7817`. Use port 0
@@ -13,13 +14,28 @@
 //!   is reloaded on start, so spent budget survives restarts.
 //! * `--port-file` — after binding, write the chosen port (decimal,
 //!   one line) to this path.
+//! * `--buffer-rows` / `--buffer-age-ms` — the streaming write-buffer
+//!   thresholds (DESIGN.md §8): appends coalesce into a pending delta
+//!   log and publish one snapshot when either threshold is hit, or on
+//!   explicit `POST /v1/flush`. Default `--buffer-rows 1`: every
+//!   append publishes immediately (the historical behaviour).
 
-use updp_serve::{Ledger, Server};
+use updp_serve::{FlushPolicy, Ledger, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH] \
+         [--buffer-rows N] [--buffer-age-ms MS]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let mut addr = "127.0.0.1:7817".to_string();
     let mut ledger_path = "updp-serve-ledger.json".to_string();
     let mut port_file: Option<String> = None;
+    let mut buffer_rows = 1usize;
+    let mut buffer_age_ms = 200u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -32,14 +48,20 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--ledger" => ledger_path = value("--ledger"),
             "--port-file" => port_file = Some(value("--port-file")),
-            _ => {
-                eprintln!(
-                    "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH]"
-                );
-                std::process::exit(2);
+            "--buffer-rows" => {
+                buffer_rows = value("--buffer-rows").parse().unwrap_or_else(|_| usage())
             }
+            "--buffer-age-ms" => {
+                buffer_age_ms = value("--buffer-age-ms").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
         }
     }
+    let policy = if buffer_rows <= 1 {
+        FlushPolicy::immediate()
+    } else {
+        FlushPolicy::buffered(buffer_rows, std::time::Duration::from_millis(buffer_age_ms))
+    };
 
     let ledger = match Ledger::open(std::path::Path::new(&ledger_path)) {
         Ok(ledger) => ledger,
@@ -48,7 +70,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match Server::bind(&addr, ledger) {
+    let server = match Server::bind_with_policy(&addr, ledger, policy) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("updp-serve: bind {addr}: {e}");

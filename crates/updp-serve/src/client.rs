@@ -103,6 +103,23 @@ impl Connection {
         self.request("POST", "/v1/register", &body)
     }
 
+    /// `POST /v1/append` with scalar data (buffered per the server's
+    /// flush policy; see [`Connection::flush`]).
+    pub fn append(&mut self, name: &str, data: &[f64]) -> Result<String, ClientError> {
+        let body = JsonValue::object(vec![
+            ("name", name.into()),
+            ("data", JsonValue::numbers(data)),
+        ])
+        .to_compact();
+        self.request("POST", "/v1/append", &body)
+    }
+
+    /// `POST /v1/flush`: publish the dataset's pending delta log.
+    pub fn flush(&mut self, name: &str) -> Result<String, ClientError> {
+        let body = JsonValue::object(vec![("name", name.into())]).to_compact();
+        self.request("POST", "/v1/flush", &body)
+    }
+
     /// `POST /v1/query` with a pre-rendered body.
     pub fn query(&mut self, body: &str) -> Result<String, ClientError> {
         self.request("POST", "/v1/query", body)

@@ -226,6 +226,9 @@ pub enum EngineError {
     },
     /// A query spec is invalid before any budget is touched.
     BadQuery(String),
+    /// An internal invariant failed (e.g. a poisoned registry lock);
+    /// surfaced as a 500 `internal` wire error, not a worker panic.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -238,6 +241,7 @@ impl std::fmt::Display for EngineError {
                 known.join(", ")
             ),
             EngineError::BadQuery(reason) => write!(f, "bad query: {reason}"),
+            EngineError::Internal(reason) => write!(f, "internal error: {reason}"),
         }
     }
 }
@@ -311,6 +315,14 @@ pub fn execute_batch(
         .map(|spec| catalog.get(&spec.estimator).expect("validated above"))
         .collect();
 
+    // Acquire the snapshot BEFORE any budget moves: if the registry
+    // lock is poisoned, the request fails with `Internal` while the
+    // ledger is untouched — otherwise retries against a wedged
+    // dataset would drain its privacy budget with zero releases.
+    let prepared = dataset
+        .snapshot()
+        .map_err(|e| EngineError::Internal(e.to_string()))?;
+
     // Phase 1: in-order nominal reservations ⇒ deterministic refusals.
     // One `reserve_many` call: item-by-item semantics, one snapshot
     // write for the whole batch.
@@ -325,7 +337,6 @@ pub fn execute_batch(
     // against ONE immutable snapshot — no lock is held while
     // estimating, and every query of the batch sees the same data
     // version (and shares its artifact caches).
-    let prepared = dataset.snapshot();
     let view = prepared.view();
     let executed: Vec<Option<Result<Execution, UpdpError>>> = par_map_indexed(specs.len(), |i| {
         granted[i].is_none().then(|| {
@@ -585,7 +596,7 @@ mod tests {
         let mut rng = seeded(child_seed(11, 0));
         let direct = estimate_mean(
             &mut rng,
-            &dataset.snapshot().columns()[0],
+            &dataset.snapshot().unwrap().columns()[0],
             Epsilon::new(0.5).unwrap(),
             DEFAULT_BETA,
         )
@@ -628,7 +639,7 @@ mod tests {
         let mut rng = seeded(child_seed(21, 0));
         let direct = updp_baselines::kv18_gaussian_mean(
             &mut rng,
-            &dataset.snapshot().columns()[0],
+            &dataset.snapshot().unwrap().columns()[0],
             1000.0,
             0.1,
             100.0,
@@ -790,12 +801,12 @@ mod tests {
         let catalog = catalog();
         let specs = vec![QuerySpec::new("quantile", 0.25).with("q", 0.5)];
         let a = execute_batch(&dataset, &catalog, &ledger, &specs, 5, ReleaseMode::Raw).unwrap();
-        let cached_after_first = dataset.snapshot().view().col(0).cached_grids();
+        let cached_after_first = dataset.snapshot().unwrap().view().col(0).cached_grids();
         assert!(cached_after_first >= 1, "first query must warm the cache");
         let b = execute_batch(&dataset, &catalog, &ledger, &specs, 5, ReleaseMode::Raw).unwrap();
         assert_eq!(a, b);
         assert_eq!(
-            dataset.snapshot().view().col(0).cached_grids(),
+            dataset.snapshot().unwrap().view().col(0).cached_grids(),
             cached_after_first,
             "same-seed repeat must not grow the grid cache"
         );

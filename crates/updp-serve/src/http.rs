@@ -171,7 +171,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("bad version `{version}`")));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut keep_alive = true; // HTTP/1.1 default
     loop {
         let line = read_line(stream, &mut budget, false)?
@@ -184,10 +184,22 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         };
         let value = value.trim();
         match name.to_ascii_lowercase().as_str() {
+            // Repeated Content-Length headers are the classic
+            // request-smuggling vector behind a proxy that picks a
+            // different occurrence than we do (same class as the
+            // Transfer-Encoding refusal below). Refuse loudly — even
+            // when the repeated values agree, there is no legitimate
+            // reason for a client to send two.
             "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?;
+                if content_length.is_some() {
+                    return Err(HttpError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+                content_length =
+                    Some(value.parse().map_err(|_| {
+                        HttpError::Malformed(format!("bad content-length `{value}`"))
+                    })?);
             }
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
             // Chunked framing is not implemented; silently ignoring it
@@ -202,6 +214,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             _ => {}
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::Malformed(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -265,16 +278,36 @@ pub fn write_request(
 }
 
 /// Reads one response (client side): `(status, body)`.
+///
+/// Defensive against a misbehaving server: the status line is parsed
+/// explicitly (a missing or non-numeric status code is a distinct
+/// `Malformed` error, never a silent default), duplicate
+/// `Content-Length` headers are refused, and the declared body length
+/// is capped at [`MAX_BODY_BYTES`] **before** any allocation — so a
+/// rogue `Content-Length: 1e18` cannot make `serve-client`/`loadgen`
+/// allocate unboundedly.
 pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, String), HttpError> {
     let mut budget = MAX_HEAD_BYTES;
     let status_line = read_line(stream, &mut budget, false)?
         .ok_or_else(|| HttpError::Malformed("EOF before status line".into()))?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| HttpError::Malformed(format!("bad status line `{status_line}`")))?;
-    let mut content_length = 0usize;
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "bad version `{version}` in status line `{status_line}`"
+        )));
+    }
+    let code = parts.next().ok_or_else(|| {
+        HttpError::Malformed(format!("status line `{status_line}` has no status code"))
+    })?;
+    let status: u16 = code.parse().map_err(|_| {
+        HttpError::Malformed(format!(
+            "non-numeric status code `{code}` in status line `{status_line}`"
+        ))
+    })?;
+    let mut content_length: Option<usize> = None;
     loop {
         let line = read_line(stream, &mut budget, false)?
             .ok_or_else(|| HttpError::Malformed("EOF in headers".into()))?;
@@ -283,14 +316,24 @@ pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, String), HttpErr
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+                if content_length.is_some() {
+                    return Err(HttpError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+                content_length = Some(value.trim().parse().map_err(|_| {
                     HttpError::Malformed(format!("bad content-length `{}`", value.trim()))
-                })?;
+                })?);
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "response body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let body = read_body(stream, content_length)?;
     String::from_utf8(body)
         .map(|text| (status, text))
         .map_err(|_| HttpError::Malformed("non-UTF-8 body".into()))
@@ -356,6 +399,63 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_refused() {
+        // Differing values: whichever occurrence a proxy honored, we
+        // must not silently honor the other — a smuggling vector.
+        let differing = "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        // Even identical repeats are refused: no legitimate client
+        // sends two.
+        let identical = "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        for wire in [differing, identical] {
+            match read_request(&mut BufReader::new(wire.as_bytes())) {
+                Err(HttpError::Malformed(reason)) => {
+                    assert!(reason.contains("duplicate content-length"), "{reason}")
+                }
+                other => panic!("accepted duplicate content-length: {other:?}"),
+            }
+        }
+        // Case-insensitive: header names match ASCII-case-insensitively.
+        let mixed = "POST /x HTTP/1.1\r\nContent-Length: 3\r\ncontent-length: 3\r\n\r\nabc";
+        assert!(read_request(&mut BufReader::new(mixed.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_status_line_errors_are_explicit() {
+        for (wire, needle) in [
+            ("\r\n\r\n", "empty status line"),
+            ("ICY 200 OK\r\n\r\n", "bad version"),
+            ("HTTP/1.1\r\n\r\n", "no status code"),
+            ("HTTP/1.1 abc Bad\r\n\r\n", "non-numeric status code"),
+        ] {
+            match read_response(&mut BufReader::new(wire.as_bytes())) {
+                Err(HttpError::Malformed(reason)) => {
+                    assert!(reason.contains(needle), "`{reason}` missing `{needle}`")
+                }
+                other => panic!("accepted {wire:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_response_bodies_are_refused_before_allocation() {
+        // A rogue server declaring an enormous body must not make the
+        // client allocate it.
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match read_response(&mut BufReader::new(wire.as_bytes())) {
+            Err(HttpError::Malformed(reason)) => {
+                assert!(reason.contains("exceeds"), "{reason}")
+            }
+            other => panic!("accepted oversized response: {other:?}"),
+        }
+        // Duplicate response Content-Length is refused too.
+        let wire = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        assert!(read_response(&mut BufReader::new(wire.as_bytes())).is_err());
     }
 
     #[test]

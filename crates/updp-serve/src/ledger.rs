@@ -66,6 +66,10 @@ pub enum LedgerError {
     BadParameter(String),
     /// The snapshot file could not be read, parsed, or written.
     Snapshot(String),
+    /// A ledger lock was poisoned by a panicked thread. Mapped to a
+    /// 500 `internal` wire error so one panic cannot cascade into
+    /// every worker thread.
+    Poisoned,
 }
 
 impl std::fmt::Display for LedgerError {
@@ -74,6 +78,12 @@ impl std::fmt::Display for LedgerError {
             LedgerError::UnknownDataset(name) => write!(f, "no ledger account for `{name}`"),
             LedgerError::BadParameter(reason) => write!(f, "bad ledger parameter: {reason}"),
             LedgerError::Snapshot(reason) => write!(f, "ledger snapshot: {reason}"),
+            LedgerError::Poisoned => {
+                write!(
+                    f,
+                    "internal synchronization error: a ledger lock was poisoned"
+                )
+            }
         }
     }
 }
@@ -136,7 +146,7 @@ impl Ledger {
             )));
         }
         {
-            let mut accounts = self.accounts.lock().unwrap();
+            let mut accounts = self.accounts.lock().map_err(|_| LedgerError::Poisoned)?;
             if let Some(existing) = accounts.get(name) {
                 return Ok(*existing);
             }
@@ -174,7 +184,7 @@ impl Ledger {
             }
         }
         let (outcomes, any_granted) = {
-            let mut accounts = self.accounts.lock().unwrap();
+            let mut accounts = self.accounts.lock().map_err(|_| LedgerError::Poisoned)?;
             let account = accounts
                 .get_mut(name)
                 .ok_or_else(|| LedgerError::UnknownDataset(name.into()))?;
@@ -207,28 +217,29 @@ impl Ledger {
     pub fn account(&self, name: &str) -> Result<Account, LedgerError> {
         self.accounts
             .lock()
-            .unwrap()
+            .map_err(|_| LedgerError::Poisoned)?
             .get(name)
             .copied()
             .ok_or_else(|| LedgerError::UnknownDataset(name.into()))
     }
 
     /// All accounts as `(name, account)` rows, sorted by name.
-    pub fn list(&self) -> Vec<(String, Account)> {
+    pub fn list(&self) -> Result<Vec<(String, Account)>, LedgerError> {
         let mut rows: Vec<(String, Account)> = self
             .accounts
             .lock()
-            .unwrap()
+            .map_err(|_| LedgerError::Poisoned)?
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
-        rows
+        Ok(rows)
     }
 
     /// Serializes the current state as a snapshot document.
-    pub fn snapshot_json(&self) -> String {
-        render_snapshot(&self.accounts.lock().unwrap())
+    pub fn snapshot_json(&self) -> Result<String, LedgerError> {
+        let accounts = self.accounts.lock().map_err(|_| LedgerError::Poisoned)?;
+        Ok(render_snapshot(&accounts))
     }
 
     /// Writes the snapshot file. Writers serialize on `persist_lock`
@@ -239,8 +250,13 @@ impl Ledger {
         let Some(path) = &self.path else {
             return Ok(());
         };
-        let _writer = self.persist_lock.lock().unwrap();
-        let text = render_snapshot(&self.accounts.lock().unwrap());
+        let _writer = self
+            .persist_lock
+            .lock()
+            .map_err(|_| LedgerError::Poisoned)?;
+        let accounts = self.accounts.lock().map_err(|_| LedgerError::Poisoned)?;
+        let text = render_snapshot(&accounts);
+        drop(accounts);
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, text)
             .and_then(|()| std::fs::rename(&tmp, path))
@@ -392,7 +408,7 @@ mod tests {
         ledger.register("b", 2.0).unwrap();
         ledger.register("a", 1.0).unwrap();
         ledger.reserve("a", 0.25).unwrap().unwrap();
-        let accounts = parse_snapshot(&ledger.snapshot_json()).unwrap();
+        let accounts = parse_snapshot(&ledger.snapshot_json().unwrap()).unwrap();
         assert_eq!(accounts.len(), 2);
         assert_eq!(
             accounts["a"],
@@ -401,6 +417,24 @@ mod tests {
                 spent: 0.25
             }
         );
+    }
+
+    #[test]
+    fn poisoned_accounts_lock_is_an_error_not_a_cascade() {
+        let ledger = Ledger::in_memory();
+        ledger.register("d", 1.0).unwrap();
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ledger.accounts.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(poison.is_err());
+        assert_eq!(ledger.account("d").unwrap_err(), LedgerError::Poisoned);
+        assert_eq!(ledger.reserve("d", 0.1).unwrap_err(), LedgerError::Poisoned);
+        assert_eq!(
+            ledger.register("e", 1.0).unwrap_err(),
+            LedgerError::Poisoned
+        );
+        assert_eq!(ledger.list().unwrap_err(), LedgerError::Poisoned);
     }
 
     #[test]

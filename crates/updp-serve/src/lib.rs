@@ -8,9 +8,11 @@
 //! the pieces:
 //!
 //! * [`registry`] — sharded in-memory dataset registry
-//!   (register/append/drop, stable ids) handing out immutable
+//!   (register/append/flush/drop, stable ids) handing out immutable
 //!   `Arc<PreparedDataset>` snapshots whose sorted/discretized
-//!   artifacts are cached across queries and invalidated by append;
+//!   artifacts are cached across queries; appends coalesce in a
+//!   per-dataset delta log (DESIGN.md §8) and publish successor
+//!   snapshots with merge-maintained caches;
 //! * [`ledger`] — the ε accountant: atomic per-query reservation
 //!   under basic composition, structured refusals on exhaustion, and
 //!   a persisted snapshot so restarts cannot replay budget;
@@ -44,5 +46,5 @@ pub mod wire;
 
 pub use engine::{EstimatorCatalog, QueryOutcome, QuerySpec, ReleaseMode};
 pub use ledger::Ledger;
-pub use registry::Registry;
+pub use registry::{FlushPolicy, Registry};
 pub use server::Server;

@@ -6,7 +6,13 @@
 use updp_core::json::JsonValue;
 
 /// The current schema tag.
-pub const SCHEMA: &str = "updp-serve-loadgen/v2";
+pub const SCHEMA: &str = "updp-serve-loadgen/v3";
+
+/// The previous schema tag. v3 added the streaming workload rows and
+/// the top-level `streaming_ratio` field; a committed v2 report still
+/// parses (the field defaults to empty), so old baselines remain
+/// readable.
+pub const SCHEMA_V2: &str = "updp-serve-loadgen/v2";
 
 /// One measured load level.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +22,13 @@ pub struct LoadRun {
     /// query pays the full discretize-and-sort), or
     /// `"repeat-quantile-warm"` (one dataset queried repeatedly — the
     /// `PreparedDataset` grid cache absorbs the sort). Cold vs warm
-    /// p50/p99 is the cache win.
+    /// p50/p99 is the cache win. Since v3, the streaming ingestion
+    /// triple: `"streaming-append"` (buffered 1-row appends),
+    /// `"streaming-flush"` (publication of the pending delta log — the
+    /// `O(n + k)` cache merge), and `"streaming-query"` (quantile
+    /// queries against freshly-published snapshots; materially below
+    /// the cold baseline because appended snapshots keep their caches
+    /// warm).
     pub workload: String,
     /// Concurrent client connections.
     pub connections: usize,
@@ -43,6 +55,9 @@ pub struct ServeReport {
     pub dataset_records: usize,
     /// Records per dataset in the repeat-quantile workloads.
     pub quantile_records: usize,
+    /// Append:query ratio of the streaming workload (`"1:1"`; empty
+    /// when parsed from a pre-v3 report).
+    pub streaming_ratio: String,
     /// One row per connection count (the committed file measures 1
     /// and 8).
     pub runs: Vec<LoadRun>,
@@ -73,6 +88,7 @@ impl ServeReport {
             ("host_threads", self.host_threads.into()),
             ("dataset_records", self.dataset_records.into()),
             ("quantile_records", self.quantile_records.into()),
+            ("streaming_ratio", self.streaming_ratio.as_str().into()),
             ("runs", JsonValue::Array(runs)),
             ("note", self.note.as_str().into()),
         ])
@@ -81,14 +97,23 @@ impl ServeReport {
         out
     }
 
-    /// Parses a report previously produced by [`ServeReport::to_json`].
+    /// Parses a report previously produced by [`ServeReport::to_json`]
+    /// — the current v3 layout or a committed v2 one (which simply
+    /// lacks the `streaming_ratio` field and the streaming rows).
     pub fn from_json(input: &str) -> Result<Self, String> {
         let doc = JsonValue::parse(input)?;
         let obj = doc.as_object("top level")?;
         let schema = obj.get_str("schema")?;
-        if schema != SCHEMA {
-            return Err(format!("unknown schema `{schema}`, expected `{SCHEMA}`"));
+        if schema != SCHEMA && schema != SCHEMA_V2 {
+            return Err(format!(
+                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V2}`)"
+            ));
         }
+        let streaming_ratio = if schema == SCHEMA_V2 {
+            String::new()
+        } else {
+            obj.get_str("streaming_ratio")?
+        };
         let runs = obj
             .get_array("runs")?
             .iter()
@@ -110,6 +135,7 @@ impl ServeReport {
             host_threads: obj.get_usize("host_threads")?,
             dataset_records: obj.get_usize("dataset_records")?,
             quantile_records: obj.get_usize("quantile_records")?,
+            streaming_ratio,
             runs,
             note: obj.get_str("note")?,
         })
@@ -135,6 +161,7 @@ mod tests {
             host_threads: 4,
             dataset_records: 10_000,
             quantile_records: 100_000,
+            streaming_ratio: "1:1".into(),
             runs: vec![
                 LoadRun {
                     workload: "batch".into(),
@@ -174,6 +201,42 @@ mod tests {
         assert!(ServeReport::from_json("{\"schema\": \"updp-bench-baseline/v1\"}").is_err());
         let json = sample().to_json();
         assert!(ServeReport::from_json(&json[..json.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn committed_v2_layout_still_parses() {
+        // The exact shape of the BENCH_serve.json committed before the
+        // v3 bump: no `streaming_ratio`, no streaming rows. Old
+        // baselines must stay readable.
+        let v2 = r#"{
+  "schema": "updp-serve-loadgen/v2",
+  "host_threads": 1,
+  "dataset_records": 10000,
+  "quantile_records": 100000,
+  "runs": [
+    {
+      "workload": "repeat-quantile-cold",
+      "connections": 1,
+      "requests": 100,
+      "wall_ms": 593.9923,
+      "rps": 168.35235069545513,
+      "p50_ms": 5.754673,
+      "p99_ms": 10.455720999999999
+    }
+  ],
+  "note": "hardened batch (mean + p90 + iqr) per request"
+}
+"#;
+        let report = ServeReport::from_json(v2).unwrap();
+        assert_eq!(report.schema, SCHEMA_V2);
+        assert_eq!(report.streaming_ratio, "");
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.runs[0].p50_ms, 5.754673);
+        // Re-rendering writes the current layout, which round-trips.
+        let mut upgraded = report.clone();
+        upgraded.schema = SCHEMA.into();
+        let json = upgraded.to_json();
+        assert_eq!(ServeReport::from_json(&json).unwrap(), upgraded);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! | `GET /v1/datasets` | — | list datasets + budgets |
 //! | `GET /v1/estimators` | — | list servable estimators + assumptions |
 //! | `POST /v1/register` | `{name, budget, data\|columns}` | create dataset + ledger account |
-//! | `POST /v1/append` | `{name, data\|columns}` | append records |
+//! | `POST /v1/append` | `{name, data\|columns}` | buffer records (publishes per [`FlushPolicy`]) |
+//! | `POST /v1/flush` | `{name}` | publish the pending delta log now |
 //! | `POST /v1/drop` | `{name}` | drop data (ledger entry survives) |
 //! | `POST /v1/query` | see [`crate::wire::parse_query`] | budgeted batch estimation |
 //! | `POST /v1/shutdown` | — | graceful stop |
@@ -21,7 +22,7 @@
 use crate::engine::{execute_batch, EngineError, EstimatorCatalog, QueryOutcome, ReleaseMode};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::ledger::{Ledger, LedgerError};
-use crate::registry::{Registry, RegistryError};
+use crate::registry::{FlushPolicy, Registry, RegistryError};
 use crate::wire;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,12 +48,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) over `ledger`.
+    /// Binds `addr` (use port 0 for an ephemeral port) over `ledger`
+    /// with the immediate (unbuffered) flush policy.
     pub fn bind(addr: &str, ledger: Ledger) -> std::io::Result<Server> {
+        Server::bind_with_policy(addr, ledger, FlushPolicy::immediate())
+    }
+
+    /// Binds `addr` over `ledger` with an explicit write-buffer
+    /// [`FlushPolicy`] (DESIGN.md §8): appends coalesce into a pending
+    /// delta log and publish one snapshot per threshold crossing or
+    /// explicit `POST /v1/flush`.
+    pub fn bind_with_policy(
+        addr: &str,
+        ledger: Ledger,
+        policy: FlushPolicy,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(AppState {
-                registry: Registry::new(),
+                registry: Registry::with_policy(policy),
                 ledger,
                 estimators: EstimatorCatalog::standard(),
                 shutdown: AtomicBool::new(false),
@@ -168,6 +182,9 @@ fn registry_error(e: &RegistryError) -> Response {
         RegistryError::AlreadyExists(_) => (409, "already_exists"),
         RegistryError::BadName(_) => (400, "bad_name"),
         RegistryError::DimensionMismatch { .. } | RegistryError::BadData(_) => (400, "bad_data"),
+        // A poisoned lock means one worker panicked; answer 500 and
+        // keep serving instead of cascading the panic.
+        RegistryError::Poisoned => (500, "internal"),
     };
     error(status, code, &e.to_string())
 }
@@ -177,6 +194,7 @@ fn ledger_error(e: &LedgerError) -> Response {
         LedgerError::UnknownDataset(_) => error(404, "not_found", &e.to_string()),
         LedgerError::BadParameter(_) => error(400, "bad_request", &e.to_string()),
         LedgerError::Snapshot(_) => error(500, "ledger_io", &e.to_string()),
+        LedgerError::Poisoned => error(500, "internal", &e.to_string()),
     }
 }
 
@@ -191,6 +209,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", "/v1/estimators") => (200, wire::estimators_response(state.estimators.iter())),
         ("POST", "/v1/register") => register(state, body),
         ("POST", "/v1/append") => append(state, body),
+        ("POST", "/v1/flush") => flush(state, body),
         ("POST", "/v1/drop") => drop_dataset(state, body),
         ("POST", "/v1/query") => query(state, body),
         ("POST", "/v1/shutdown") => ok(JsonValue::object(vec![("shutting_down", true.into())])),
@@ -207,6 +226,7 @@ fn known_path(path: &str) -> bool {
             | "/v1/estimators"
             | "/v1/register"
             | "/v1/append"
+            | "/v1/flush"
             | "/v1/drop"
             | "/v1/query"
             | "/v1/shutdown"
@@ -214,17 +234,20 @@ fn known_path(path: &str) -> bool {
 }
 
 fn list(state: &AppState) -> Response {
-    let rows = state
-        .registry
-        .list()
+    let rows = match state.registry.list() {
+        Ok(rows) => rows,
+        Err(e) => return registry_error(&e),
+    };
+    let rows = rows
         .into_iter()
-        .map(|(name, dim, records)| {
+        .map(|row| {
             let mut fields = vec![
-                ("name", name.as_str().into()),
-                ("dim", dim.into()),
-                ("records", records.into()),
+                ("name", row.name.as_str().into()),
+                ("dim", row.dim.into()),
+                ("records", row.records.into()),
+                ("pending", row.pending.into()),
             ];
-            if let Ok(account) = state.ledger.account(&name) {
+            if let Ok(account) = state.ledger.account(&row.name) {
                 fields.push(("budget", wire::budget_json(&account)));
             }
             JsonValue::object(fields)
@@ -264,12 +287,18 @@ fn register(state: &AppState, body: &str) -> Response {
         Err(e) => return ledger_error(&e),
     };
     match state.registry.register(&request.name, request.columns) {
-        Ok(dataset) => ok(JsonValue::object(vec![
-            ("name", dataset.name.as_str().into()),
-            ("dim", dataset.dim.into()),
-            ("records", dataset.len().into()),
-            ("budget", wire::budget_json(&account)),
-        ])),
+        Ok(dataset) => {
+            let records = match dataset.len() {
+                Ok(records) => records,
+                Err(e) => return registry_error(&e),
+            };
+            ok(JsonValue::object(vec![
+                ("name", dataset.name.as_str().into()),
+                ("dim", dataset.dim.into()),
+                ("records", records.into()),
+                ("budget", wire::budget_json(&account)),
+            ]))
+        }
         Err(e) => registry_error(&e),
     }
 }
@@ -280,9 +309,28 @@ fn append(state: &AppState, body: &str) -> Response {
         Err(e) => return error(400, "bad_request", &e.to_string()),
     };
     match state.registry.append(&name, columns) {
-        Ok(records) => ok(JsonValue::object(vec![
+        Ok(outcome) => ok(JsonValue::object(vec![
             ("name", name.as_str().into()),
-            ("records", records.into()),
+            ("records", outcome.records.into()),
+            ("pending", outcome.pending.into()),
+            ("version", (outcome.version as f64).into()),
+            ("flushed", outcome.flushed.into()),
+        ])),
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn flush(state: &AppState, body: &str) -> Response {
+    let name = match wire::parse_flush(body) {
+        Ok(name) => name,
+        Err(e) => return error(400, "bad_request", &e.to_string()),
+    };
+    match state.registry.flush(&name) {
+        Ok(outcome) => ok(JsonValue::object(vec![
+            ("name", name.as_str().into()),
+            ("records", outcome.records.into()),
+            ("version", (outcome.version as f64).into()),
+            ("flushed_rows", outcome.flushed_rows.into()),
         ])),
         Err(e) => registry_error(&e),
     }
@@ -337,6 +385,7 @@ fn query(state: &AppState, body: &str) -> Response {
             return error(400, "unknown_estimator", &e.to_string())
         }
         Err(EngineError::Ledger(e)) => return ledger_error(&e),
+        Err(e @ EngineError::Internal(_)) => return error(500, "internal", &e.to_string()),
     };
     let account = match state.ledger.account(&request.dataset) {
         Ok(account) => account,

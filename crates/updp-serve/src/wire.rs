@@ -93,6 +93,12 @@ pub fn parse_drop(body: &str) -> Result<String, WireError> {
     Ok(doc.as_object("drop request")?.get_str("name")?)
 }
 
+/// Parses a flush body: `{"name"}`.
+pub fn parse_flush(body: &str) -> Result<String, WireError> {
+    let doc = JsonValue::parse(body)?;
+    Ok(doc.as_object("flush request")?.get_str("name")?)
+}
+
 /// Parsed `POST /v1/query` body.
 #[derive(Debug, PartialEq)]
 pub struct QueryRequest {

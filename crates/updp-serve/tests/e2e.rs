@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use updp_core::json::JsonValue;
 use updp_dist::ContinuousDistribution;
 use updp_serve::client::{query_body, query_body_named, ClientError, Connection, NamedQuery};
-use updp_serve::{Ledger, Server};
+use updp_serve::{FlushPolicy, Ledger, Server};
 
 fn temp_ledger(tag: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("updp-e2e-{}-{tag}.json", std::process::id()));
@@ -354,6 +354,81 @@ fn append_invalidates_the_cached_snapshot_over_the_wire() {
 
     client.shutdown().unwrap();
     server.join().unwrap().unwrap();
+}
+
+#[test]
+fn buffered_appends_plus_flush_bitwise_equal_one_bulk_append() {
+    // DESIGN.md §8's determinism obligation over the wire: a burst of
+    // buffered 1-row appends followed by a flush must publish the SAME
+    // snapshot version with the SAME bits as one bulk append of the
+    // identical rows — the client cannot tell how the rows arrived.
+    let policy = FlushPolicy::buffered(usize::MAX, std::time::Duration::from_secs(86_400));
+    let buffered =
+        Server::bind_with_policy("127.0.0.1:0", Ledger::in_memory(), policy).expect("bind");
+    let addr_a = buffered.local_addr().expect("local addr").to_string();
+    let server_a = std::thread::spawn(move || buffered.run());
+    let (addr_b, server_b) = start(Ledger::in_memory());
+
+    let base = gaussian(2_000);
+    let extra = {
+        let mut rng = updp_core::rng::seeded(0xDE17A);
+        let g = updp_dist::Gaussian::new(80.0, 3.0).expect("valid parameters");
+        g.sample_vec(&mut rng, 10)
+    };
+    let batch = query_body(
+        "s",
+        7,
+        false,
+        &[("mean", 0.2, None), ("quantile", 0.2, Some(0.9))],
+    );
+
+    // Server A: buffered 1-row appends, then one flush.
+    let mut a = Connection::open(&addr_a).expect("connect A");
+    a.register("s", 1e6, &base).unwrap();
+    // Warm the snapshot caches so the flush exercises merge-carry.
+    a.query(&batch).unwrap();
+    for (i, &row) in extra.iter().enumerate() {
+        let body = a.append("s", &[row]).unwrap();
+        let doc = JsonValue::parse(&body).unwrap();
+        let obj = doc.as_object("append response").unwrap();
+        assert!(!obj.get_bool("flushed").unwrap(), "{body}");
+        assert_eq!(obj.get_usize("pending").unwrap(), i + 1, "{body}");
+        assert_eq!(obj.get_usize("records").unwrap(), 2_000, "{body}");
+        assert_eq!(obj.get_f64("version").unwrap(), 0.0, "{body}");
+    }
+    // Pending rows are visible in the listing, not to queries.
+    let listing = a.request("GET", "/v1/datasets", "").unwrap();
+    assert!(listing.contains("\"pending\":10"), "{listing}");
+    let body = a.flush("s").unwrap();
+    let doc = JsonValue::parse(&body).unwrap();
+    let obj = doc.as_object("flush response").unwrap();
+    assert_eq!(obj.get_usize("flushed_rows").unwrap(), 10, "{body}");
+    assert_eq!(obj.get_usize("records").unwrap(), 2_010, "{body}");
+    assert_eq!(
+        obj.get_f64("version").unwrap(),
+        1.0,
+        "a 10-append burst must cost ONE snapshot: {body}"
+    );
+    let released_a = results_of(&a.query(&batch).unwrap());
+
+    // Server B: the same rows as one bulk append (also version 1).
+    let mut b = Connection::open(&addr_b).expect("connect B");
+    b.register("s", 1e6, &base).unwrap();
+    b.query(&batch).unwrap();
+    let body = b.append("s", &extra).unwrap();
+    assert!(body.contains("\"version\":1"), "{body}");
+    assert!(body.contains("\"flushed\":true"), "{body}");
+    let released_b = results_of(&b.query(&batch).unwrap());
+
+    assert_eq!(
+        released_a, released_b,
+        "buffered-then-flushed releases diverged from bulk-append releases"
+    );
+
+    a.shutdown().unwrap();
+    server_a.join().unwrap().unwrap();
+    b.shutdown().unwrap();
+    server_b.join().unwrap().unwrap();
 }
 
 #[test]
