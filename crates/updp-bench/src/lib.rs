@@ -2,6 +2,10 @@
 //! perf-baseline report schema ([`baseline`], written by the
 //! `bench_baseline` binary into `BENCH_baseline.json`).
 
+// The workspace ships zero `unsafe` blocks; every crate forbids them so
+// updp-lint's R4 (safety-comment) holds vacuously — see DESIGN.md §9.
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 
 /// Re-export of the shared first-party JSON codec (promoted from this

@@ -68,6 +68,7 @@ pub fn private_clipped_mean<R: Rng + ?Sized>(
     ensure_finite(data, "private_clipped_mean input")?;
     let mean = clipped_mean(data, lo, hi)?;
     let width = hi - lo;
+    // updp-lint: allow(R5, reason="exact zero-width degeneracy test: hi - lo == 0.0 iff hi == lo bitwise up to zero sign, and only that case is data-independent")
     if width == 0.0 {
         // Degenerate interval: the clipped mean is data-independent
         // (always `lo`), so releasing it exactly is 0-DP.
@@ -122,6 +123,9 @@ fn validate_interval(lo: f64, hi: f64) -> Result<()> {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::rng::seeded;

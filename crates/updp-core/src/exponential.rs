@@ -94,7 +94,9 @@ pub fn sample_weighted_segment<R: Rng + ?Sized>(
         if seg.count == 0 {
             continue;
         }
+        // updp-lint: allow(R5, reason="-inf is the exact empty-weight sentinel in log space; equality against it is a tag check, not an approximate comparison")
         debug_assert!(seg.log_weight.is_finite() || seg.log_weight == f64::NEG_INFINITY);
+        // updp-lint: allow(R5, reason="-inf is the exact empty-weight sentinel in log space; equality against it is a tag check, not an approximate comparison")
         if seg.log_weight == f64::NEG_INFINITY {
             continue;
         }

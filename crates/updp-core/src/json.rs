@@ -71,6 +71,7 @@ impl<'a> Object<'a> {
     /// The numeric field `key` as a non-negative integer.
     pub fn get_usize(&self, key: &str) -> Result<usize, String> {
         let x = self.get_f64(key)?;
+        // updp-lint: allow(R5, reason="fract() == 0.0 is the exact integrality test for a JSON number; inexact values must be rejected, not rounded")
         if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 {
             Ok(x as usize)
         } else {
@@ -470,6 +471,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::JsonValue as J;
 

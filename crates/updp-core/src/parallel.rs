@@ -32,7 +32,7 @@
 //! the run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Environment variable overriding the worker count. `0`, empty, or an
 /// unparsable value mean "auto" (use [`std::thread::available_parallelism`]).
@@ -52,6 +52,7 @@ fn parse_threads(raw: Option<&str>) -> Option<usize> {
 /// The worker count in effect: the `UPDP_THREADS` override if set and
 /// valid, otherwise the machine's available parallelism (≥ 1).
 pub fn max_threads() -> usize {
+    // updp-lint: allow(R1, reason="UPDP_THREADS only picks the worker count; §5 proves output is bit-identical at any thread count, so this env read cannot influence released values")
     let env = std::env::var(THREADS_ENV).ok();
     parse_threads(env.as_deref()).unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -104,12 +105,22 @@ where
                     local.push((start, (start..end).map(&f).collect()));
                 }
                 if !local.is_empty() {
-                    collected.lock().unwrap().extend(local);
+                    // Poison recovery is sound here: poisoning means a
+                    // sibling worker panicked mid-`extend`, the scope
+                    // will re-panic at join so no caller ever observes
+                    // the result, and merging into the Vec cannot make
+                    // it more inconsistent than the panic already did.
+                    collected
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
                 }
             });
         }
     });
-    let mut runs = collected.into_inner().unwrap();
+    let mut runs = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     runs.sort_unstable_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(n);
     for (start, run) in runs {

@@ -105,6 +105,7 @@ impl Delta {
     /// Whether this is the pure-DP case δ = 0.
     #[inline]
     pub fn is_pure(self) -> bool {
+        // updp-lint: allow(R5, reason="pure DP is exactly delta == 0.0; any positive delta, however tiny, is approximate DP and must not pass this test")
         self.0 == 0.0
     }
 }

@@ -96,6 +96,9 @@ pub fn snapping_epsilon_inflation(scale: f64, bound: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::rng::seeded;

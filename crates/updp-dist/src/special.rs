@@ -72,6 +72,11 @@ fn erf_series(x: f64) -> f64 {
         let nf = n as f64;
         term *= -x2 * (2.0 * nf + 1.0) / ((nf + 1.0) * (2.0 * nf + 3.0));
         let new = sum + term;
+        // Exact equality is the convergence criterion: the series has
+        // converged precisely when the next term no longer moves the
+        // f64 partial sum. A tolerance would stop early and change the
+        // released bits.
+        #[allow(clippy::float_cmp)]
         if new == sum {
             break;
         }
@@ -219,9 +224,12 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
     assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    // updp-lint: allow(R5, reason="endpoint of the beta integral: I(0) = 0 holds exactly only at x == 0.0, and ln(x) below needs x > 0")
     if x == 0.0 {
         return 0.0;
     }
+    #[allow(clippy::float_cmp)]
+    // updp-lint: allow(R5, reason="endpoint of the beta integral: I(1) = 1 holds exactly only at x == 1.0, and ln(1-x) below needs x < 1")
     if x == 1.0 {
         return 1.0;
     }
@@ -316,6 +324,9 @@ pub fn binomial(n: u32, k: u32) -> f64 {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md �5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -106,6 +106,9 @@ pub fn midrange(data: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -172,6 +172,9 @@ pub(crate) fn merge_sorted_by<T: Copy>(a: &[T], b: &[T], le: impl Fn(&T, &T) -> 
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -34,7 +34,10 @@
 
 use crate::dataset::SortedInts;
 use crate::discretize::Discretizer;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: grid caches sit in the determinism scope and
+// `successor` iterates them, so container order must be a pure
+// function of the keys (updp-lint R2, DESIGN.md §5/§7).
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use updp_core::error::Result;
@@ -54,10 +57,15 @@ pub const MAX_CARRIED_GRIDS: usize = 4;
 /// never block each other after the first build. Each grid is stamped
 /// with a build counter so [`ColumnCache::successor`] can carry the
 /// freshest [`MAX_CARRIED_GRIDS`] forward.
+/// Lock-poisoning policy (updp-lint R3, DESIGN.md §6): every artifact
+/// here is a pure function of the column, so the cache is *only* an
+/// optimization — a poisoned `grids` lock (a builder panicked) is
+/// handled by bypassing the cache (compute fresh, skip insertion),
+/// never by propagating the panic into unrelated readers.
 #[derive(Debug, Default)]
 pub struct ColumnCache {
     sorted: OnceLock<Arc<Vec<f64>>>,
-    grids: RwLock<HashMap<u64, (u64, Arc<SortedInts>)>>,
+    grids: RwLock<BTreeMap<u64, (u64, Arc<SortedInts>)>>,
     stamp: AtomicU64,
 }
 
@@ -67,9 +75,10 @@ impl ColumnCache {
         ColumnCache::default()
     }
 
-    /// Number of distinct bucket sizes with a cached grid (diagnostic).
+    /// Number of distinct bucket sizes with a cached grid (diagnostic;
+    /// a poisoned cache reads as empty).
     pub fn cached_grids(&self) -> usize {
-        self.grids.read().unwrap().len()
+        self.grids.read().map_or(0, |g| g.len())
     }
 
     /// Whether the sorted copy has been built (diagnostic; never
@@ -107,34 +116,41 @@ impl ColumnCache {
 
         // Freshest grids first; older buckets (typically retired by
         // the `n`-dependent bucket choice) rebuild lazily if ever
-        // queried again.
-        let mut carried: Vec<(u64, u64, Arc<SortedInts>)> = self
-            .grids
-            .read()
-            .unwrap()
-            .iter()
-            .map(|(&key, (stamp, grid))| (*stamp, key, grid.clone()))
-            .collect();
+        // queried again. A poisoned parent cache carries nothing: the
+        // successor rebuilds lazily, the historical cold behaviour.
+        let mut carried: Vec<(u64, u64, Arc<SortedInts>)> = self.grids.read().map_or_else(
+            |_| Vec::new(),
+            |grids| {
+                grids
+                    .iter()
+                    .map(|(&key, (stamp, grid))| (*stamp, key, grid.clone()))
+                    .collect()
+            },
+        );
         carried.sort_by_key(|&(stamp, _, _)| std::cmp::Reverse(stamp));
         carried.truncate(MAX_CARRIED_GRIDS);
 
-        let successor = ColumnCache::new();
-        let _ = successor.sorted.set(Arc::new(merged));
-        {
-            let mut grids = successor.grids.write().unwrap();
-            // Reverse order: oldest carried grid stamped first, so
-            // relative recency survives chained appends.
-            for (_, key, grid) in carried.into_iter().rev() {
-                let Ok(disc) = Discretizer::new(f64::from_bits(key)) else {
-                    continue;
-                };
-                let ints: Result<Vec<i64>> = sorted_delta.iter().map(|&x| disc.to_int(x)).collect();
-                if let Ok(ints) = ints {
-                    let stamp = successor.stamp.fetch_add(1, Ordering::Relaxed);
-                    grids.insert(key, (stamp, Arc::new(grid.merge_sorted(&ints))));
-                }
+        // Build the successor's grid map before wrapping it in its
+        // lock. Reverse order: oldest carried grid stamped first, so
+        // relative recency survives chained appends.
+        let stamp = AtomicU64::new(0);
+        let mut grids = BTreeMap::new();
+        for (_, key, grid) in carried.into_iter().rev() {
+            let Ok(disc) = Discretizer::new(f64::from_bits(key)) else {
+                continue;
+            };
+            let ints: Result<Vec<i64>> = sorted_delta.iter().map(|&x| disc.to_int(x)).collect();
+            if let Ok(ints) = ints {
+                let next = stamp.fetch_add(1, Ordering::Relaxed);
+                grids.insert(key, (next, Arc::new(grid.merge_sorted(&ints))));
             }
         }
+        let successor = ColumnCache {
+            sorted: OnceLock::new(),
+            grids: RwLock::new(grids),
+            stamp,
+        };
+        let _ = successor.sorted.set(Arc::new(merged));
         successor
     }
 
@@ -150,8 +166,10 @@ impl ColumnCache {
 
     fn grid(&self, data: &[f64], bucket: f64) -> Result<Arc<SortedInts>> {
         let key = bucket.to_bits();
-        if let Some((_, hit)) = self.grids.read().unwrap().get(&key) {
-            return Ok(hit.clone());
+        if let Ok(grids) = self.grids.read() {
+            if let Some((_, hit)) = grids.get(&key) {
+                return Ok(hit.clone());
+            }
         }
         let grid = Arc::new(build_grid(
             data,
@@ -160,15 +178,13 @@ impl ColumnCache {
         )?);
         // Racing builders compute identical grids (the build is a pure
         // function of the column and the bucket); first insert wins.
+        // A poisoned lock skips the insert: the grid is still correct,
+        // the cache just stops absorbing new entries.
         let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
-        Ok(self
-            .grids
-            .write()
-            .unwrap()
-            .entry(key)
-            .or_insert((stamp, grid))
-            .1
-            .clone())
+        match self.grids.write() {
+            Ok(mut grids) => Ok(grids.entry(key).or_insert((stamp, grid)).1.clone()),
+            Err(_) => Ok(grid),
+        }
     }
 }
 

@@ -160,6 +160,7 @@ pub fn fmt_err(v: f64) -> String {
     if v.is_nan() {
         return "-".into();
     }
+    // updp-lint: allow(R5, reason="table formatting: exactly-zero errors print as `0`; near-zero errors must keep their scientific form to stay machine-diffable")
     if v == 0.0 {
         return "0".into();
     }
@@ -172,6 +173,9 @@ pub fn fmt_err(v: f64) -> String {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,244 @@
+//! `lint.toml` — the committed scoping config for the auditor.
+//!
+//! The rule *semantics* live in code ([`crate::rules`]); the config
+//! only decides **where** each rule applies, because the determinism
+//! scope (DESIGN.md §5/§7) is a property of the repository layout, not
+//! of the language. A tiny first-party TOML-subset parser keeps the
+//! crate dependency-free (DESIGN.md §4): tables, string keys, string
+//! values, string arrays, and booleans — exactly what scoping needs.
+//! Unknown keys and malformed values are hard errors: a config typo
+//! must never silently widen or narrow the audited surface.
+
+use std::collections::BTreeMap;
+
+/// Where one rule applies, as path prefixes relative to the workspace
+/// root (`/`-separated; the engine normalizes `\` before matching).
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Path prefixes the rule audits. Empty ⇒ the whole tree (minus
+    /// excludes).
+    pub paths: Vec<String>,
+    /// Path prefixes exempted from this rule.
+    pub exclude: Vec<String>,
+    /// Audit `#[cfg(test)]` / `#[test]` items and `tests/` trees?
+    pub include_tests: bool,
+    /// Audit binary targets (`src/bin/`, `src/main.rs`) and
+    /// `benches/` / `examples/`?
+    pub include_bins: bool,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes no rule ever audits (build artifacts, vendored
+    /// upstream shims).
+    pub global_exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule id (`R1`…). A rule absent from
+    /// the config uses [`RuleScope::default`] (whole tree, no tests,
+    /// no bins).
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    /// The scope for `rule_id` (default scope when unconfigured).
+    pub fn scope(&self, rule_id: &str) -> RuleScope {
+        self.rules.get(rule_id).cloned().unwrap_or_default()
+    }
+
+    /// Parses the committed config text. Errors carry the offending
+    /// line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0usize;
+        while idx < lines.len() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(lines[idx]).trim().to_string();
+            idx += 1;
+            if line.is_empty() {
+                continue;
+            }
+            // A multi-line array: keep consuming until the closing `]`.
+            while line.contains('[')
+                && !line.contains(']')
+                && line
+                    .split_once('=')
+                    .is_some_and(|(_, v)| v.trim().starts_with('['))
+            {
+                let Some(next) = lines.get(idx) else {
+                    return Err(format!("lint.toml:{lineno}: unterminated array"));
+                };
+                line.push_str(strip_comment(next).trim());
+                idx += 1;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                match name {
+                    "global" => {}
+                    _ if name.strip_prefix("rule.").is_some_and(valid_rule_id) => {}
+                    _ => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: unknown section `[{name}]` (expected `[global]` or `[rule.R<n>]`)"
+                        ));
+                    }
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section.as_deref() {
+                Some("global") => match key {
+                    "exclude" => cfg.global_exclude = parse_string_array(value, lineno)?,
+                    _ => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: unknown key `{key}` in [global]"
+                        ))
+                    }
+                },
+                Some(rule) => {
+                    let id = rule.trim_start_matches("rule.").to_string();
+                    let scope = cfg.rules.entry(id).or_default();
+                    match key {
+                        "paths" => scope.paths = parse_string_array(value, lineno)?,
+                        "exclude" => scope.exclude = parse_string_array(value, lineno)?,
+                        "include_tests" => scope.include_tests = parse_bool(value, lineno)?,
+                        "include_bins" => scope.include_bins = parse_bool(value, lineno)?,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [{rule}]"
+                            ))
+                        }
+                    }
+                }
+                None => return Err(format!("lint.toml:{lineno}: `{key}` outside any section")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn valid_rule_id(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next() == Some('R') && !s[1..].is_empty() && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(value: &str, lineno: usize) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(format!(
+            "lint.toml:{lineno}: expected `true` or `false`, got `{value}`"
+        )),
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            format!("lint.toml:{lineno}: expected a double-quoted string, got `{value}`")
+        })
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected `[\"…\", …]`, got `{value}`"))?;
+    let inner = inner.trim().trim_end_matches(',');
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item.trim(), lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_bools() {
+        let cfg = Config::parse(
+            r#"
+            # scoping
+            [global]
+            exclude = ["target", "vendor"]  # artifacts
+
+            [rule.R1]
+            paths = ["crates/updp-core/src", "crates/updp-dist/src"]
+            exclude = ["crates/updp-core/src/bin"]
+            include_tests = false
+
+            [rule.R6]
+            include_bins = false
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.global_exclude, vec!["target", "vendor"]);
+        let r1 = cfg.scope("R1");
+        assert_eq!(r1.paths.len(), 2);
+        assert_eq!(r1.exclude, vec!["crates/updp-core/src/bin"]);
+        assert!(!r1.include_tests);
+        // Unconfigured rule falls back to the default scope.
+        let r4 = cfg.scope("R4");
+        assert!(r4.paths.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[surprise]\n").is_err());
+        assert!(Config::parse("[rule.notarule]\n").is_err());
+        assert!(Config::parse("[global]\nfrobnicate = true\n").is_err());
+        assert!(
+            Config::parse("[rule.R1]\npath = [\"x\"]\n").is_err(),
+            "typo must not pass"
+        );
+        assert!(
+            Config::parse("exclude = [\"x\"]\n").is_err(),
+            "key outside section"
+        );
+        assert!(Config::parse("[rule.R1]\ninclude_tests = maybe\n").is_err());
+    }
+
+    #[test]
+    fn parses_multiline_arrays() {
+        let cfg =
+            Config::parse("[rule.R1]\npaths = [\n  \"a/b\",  # one\n  \"c/d\",\n]\n").unwrap();
+        assert_eq!(cfg.scope("R1").paths, vec!["a/b", "c/d"]);
+        assert!(
+            Config::parse("[rule.R1]\npaths = [\n  \"a/b\",\n").is_err(),
+            "unterminated"
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[global]\nexclude = [\"has#hash\"]\n").unwrap();
+        assert_eq!(cfg.global_exclude, vec!["has#hash"]);
+    }
+}

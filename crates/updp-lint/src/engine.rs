@@ -1,0 +1,537 @@
+//! The audit engine: walks the workspace, applies each catalog rule
+//! in its configured scope, resolves `// updp-lint: allow(...)`
+//! escape hatches, and produces `file:line` diagnostics.
+
+use crate::config::{Config, RuleScope};
+use crate::lexer::{lex, Lexed, Token};
+use crate::rules::{self, CATALOG};
+use std::fmt;
+use std::path::Path;
+
+/// A reportable violation (or escape-hatch misuse).
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    pub line: u32,
+    /// `R1`… for catalog rules, `allow` for escape-hatch misuse.
+    pub rule_id: String,
+    pub rule_name: String,
+    pub message: String,
+    /// The contract the diagnostic cites.
+    pub contract: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} ({}): {} [{}]",
+            self.path, self.line, self.rule_id, self.rule_name, self.message, self.contract
+        )
+    }
+}
+
+/// How a file's target class maps onto rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FileClass {
+    /// Library source — fully audited.
+    Lib,
+    /// Executable-adjacent source (`src/bin/`, `src/main.rs`,
+    /// `benches/`, `examples/`): exempt from rules with
+    /// `include_bins = false`.
+    Bin,
+    /// Test tree (`tests/`): exempt from rules with
+    /// `include_tests = false`.
+    Test,
+}
+
+fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.contains(&"tests") {
+        return FileClass::Test;
+    }
+    if parts.contains(&"benches") || parts.contains(&"examples") {
+        return FileClass::Bin;
+    }
+    if rel_path.ends_with("src/main.rs") || parts.windows(2).any(|w| w == ["src", "bin"]) {
+        return FileClass::Bin;
+    }
+    FileClass::Lib
+}
+
+fn path_in(rel_path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        let p = p.trim_end_matches('/');
+        rel_path == p || rel_path.starts_with(&format!("{p}/"))
+    })
+}
+
+fn scope_covers(scope: &RuleScope, rel_path: &str, class: FileClass) -> bool {
+    if !scope.paths.is_empty() && !path_in(rel_path, &scope.paths) {
+        return false;
+    }
+    if path_in(rel_path, &scope.exclude) {
+        return false;
+    }
+    match class {
+        FileClass::Lib => true,
+        FileClass::Bin => scope.include_bins,
+        FileClass::Test => scope.include_tests,
+    }
+}
+
+/// One parsed `// updp-lint: allow(RULE, reason="…")` escape hatch.
+#[derive(Debug)]
+struct Allow {
+    rule_id: String,
+    /// The code line the allow applies to.
+    target_line: u32,
+    /// Line of the allow comment itself (for diagnostics).
+    comment_line: u32,
+    used: bool,
+}
+
+const ALLOW_MARKER: &str = "updp-lint:";
+
+/// Parses allows out of the comment list. A trailing comment targets
+/// its own line; a standalone comment targets the next code line.
+/// Malformed allows become diagnostics immediately — an escape hatch
+/// that doesn't parse must fail loudly, not silently not apply.
+fn collect_allows(rel_path: &str, lexed: &Lexed, diagnostics: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        // Only a comment that *opens* with the marker is an escape
+        // hatch; prose or doc examples that mention the syntax
+        // mid-sentence are not.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix(ALLOW_MARKER) else {
+            continue;
+        };
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            next_code_line(&lexed.tokens, c.end_line)
+        };
+        match parse_allow(rest.trim()) {
+            Ok(rule_id) => allows.push(Allow {
+                rule_id,
+                target_line,
+                comment_line: c.line,
+                used: false,
+            }),
+            Err(msg) => diagnostics.push(allow_misuse(rel_path, c.line, msg)),
+        }
+    }
+    allows
+}
+
+fn next_code_line(tokens: &[Token], after: u32) -> u32 {
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > after)
+        .unwrap_or(after)
+}
+
+/// Parses `allow(RULE, reason="…")`; returns the rule id. The reason
+/// string is mandatory and must be non-empty: the whole point of the
+/// escape hatch is a written, reviewable justification.
+fn parse_allow(text: &str) -> Result<String, String> {
+    let inner = text
+        .strip_prefix("allow(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| {
+            "malformed escape hatch — expected `updp-lint: allow(RULE, reason=\"…\")`".to_string()
+        })?;
+    let (rule_id, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow() is missing the mandatory `reason=\"…\"` argument".to_string())?;
+    let rule_id = rule_id.trim();
+    if rules::find(rule_id).is_none() {
+        return Err(format!(
+            "allow() names unknown rule `{rule_id}` (known: {})",
+            CATALOG.map(|r| r.id).join(", ")
+        ));
+    }
+    let reason = rest
+        .trim()
+        .strip_prefix("reason=\"")
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| "allow() is missing the mandatory `reason=\"…\"` argument".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("allow() reason must not be empty — justify the exemption".to_string());
+    }
+    Ok(rule_id.to_string())
+}
+
+fn allow_misuse(rel_path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        path: rel_path.to_string(),
+        line,
+        rule_id: "allow".into(),
+        rule_name: "escape-hatch".into(),
+        message,
+        contract: "DESIGN.md §9".into(),
+    }
+}
+
+/// Marks token indices belonging to `#[cfg(test)]` / `#[test]` items
+/// so rules with `include_tests = false` skip in-file test code.
+fn test_item_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test_attr) = read_attribute(tokens, i + 1);
+        if !is_test_attr {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the test attr and the
+        // item, then mask the whole item.
+        let mut j = attr_end;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = read_attribute(tokens, j + 1).0;
+        }
+        let item_end = skip_item(tokens, j);
+        for m in &mut mask[i..item_end] {
+            *m = true;
+        }
+        i = item_end;
+    }
+    mask
+}
+
+/// Reads the bracketed attribute starting at the `[` token index;
+/// returns (index past `]`, whether it is `#[test]` or `#[cfg(test)]`
+/// — including `cfg(all(test, …))`-style conjunctions but never
+/// `cfg(not(test))`).
+fn read_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut end = open;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                end = k + 1;
+                break;
+            }
+        }
+        end = k + 1;
+    }
+    let body: Vec<&Token> = tokens[open + 1..end.saturating_sub(1)].iter().collect();
+    let is_test = match body.first().and_then(|t| t.ident()) {
+        Some("test") => body.len() == 1,
+        Some("cfg") => {
+            let mut not_depth: Option<usize> = None;
+            let mut depth = 0usize;
+            let mut found = false;
+            let mut prev_ident: Option<&str> = None;
+            for t in &body[1..] {
+                if t.is_punct('(') {
+                    depth += 1;
+                    if prev_ident == Some("not") && not_depth.is_none() {
+                        not_depth = Some(depth);
+                    }
+                } else if t.is_punct(')') {
+                    if not_depth == Some(depth) {
+                        not_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                if t.ident() == Some("test") && not_depth.is_none() {
+                    found = true;
+                }
+                prev_ident = t.ident();
+            }
+            found
+        }
+        _ => false,
+    };
+    (end, is_test)
+}
+
+/// Returns the index one past the end of the item starting at `start`:
+/// either the `;` closing a braceless item or the `}` matching the
+/// item's first top-level `{`.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut brace = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        match t.kind {
+            crate::lexer::TokenKind::Punct('(') => paren += 1,
+            crate::lexer::TokenKind::Punct(')') => paren -= 1,
+            crate::lexer::TokenKind::Punct('[') => bracket += 1,
+            crate::lexer::TokenKind::Punct(']') => bracket -= 1,
+            crate::lexer::TokenKind::Punct('{') => brace += 1,
+            crate::lexer::TokenKind::Punct('}') => {
+                brace -= 1;
+                if brace == 0 {
+                    return k + 1;
+                }
+            }
+            crate::lexer::TokenKind::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => {
+                return k + 1;
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Audits one file's source text under `config`, as `rel_path`
+/// (workspace-relative, `/`-separated). Pure: no filesystem access,
+/// which is what the golden-fixture tests build on.
+pub fn audit_source(rel_path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let class = classify(rel_path);
+    let lexed = lex(source);
+    let mut diagnostics = Vec::new();
+    let mut allows = collect_allows(rel_path, &lexed, &mut diagnostics);
+    let mask = test_item_mask(&lexed.tokens);
+    let non_test_tokens: Vec<Token> = lexed
+        .tokens
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &in_test)| !in_test)
+        .map(|(t, _)| t.clone())
+        .collect();
+
+    for rule in &CATALOG {
+        let scope = config.scope(rule.id);
+        if !scope_covers(&scope, rel_path, class) {
+            continue;
+        }
+        let tokens: &[Token] = if scope.include_tests {
+            &lexed.tokens
+        } else {
+            &non_test_tokens
+        };
+        for f in rules::scan(rule, tokens, &lexed.comments) {
+            let allowed = allows
+                .iter_mut()
+                .find(|a| a.rule_id == rule.id && a.target_line == f.line);
+            if let Some(a) = allowed {
+                a.used = true;
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: f.line,
+                rule_id: rule.id.into(),
+                rule_name: rule.name.into(),
+                message: f.message,
+                contract: rule.contract.into(),
+            });
+        }
+    }
+
+    // An allow that suppressed nothing is itself a violation: stale
+    // exemptions must not linger as invisible holes in the audit.
+    for a in allows.iter().filter(|a| !a.used) {
+        diagnostics.push(allow_misuse(
+            rel_path,
+            a.comment_line,
+            format!(
+                "unused escape hatch for {} — the rule no longer fires on line {}; delete the allow",
+                a.rule_id, a.target_line
+            ),
+        ));
+    }
+
+    diagnostics.sort_by(|a, b| (&a.path, a.line, &a.rule_id).cmp(&(&b.path, b.line, &b.rule_id)));
+    diagnostics
+}
+
+/// Result of a whole-workspace audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_audited: usize,
+}
+
+/// Audits every `.rs` file under `root`, reading scoping from
+/// `<root>/lint.toml`.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let config_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = Config::parse(&text)?;
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &config.global_exclude, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let files_audited = files.len();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        diagnostics.extend(audit_source(&rel, &source, &config));
+    }
+    Ok(AuditReport {
+        diagnostics,
+        files_audited,
+    })
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    global_exclude: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| "walked outside root".to_string())?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || path_in(&rel, global_exclude) {
+            continue;
+        }
+        let kind = entry
+            .file_type()
+            .map_err(|e| format!("cannot stat {rel}: {e}"))?;
+        if kind.is_dir() {
+            collect_rs_files(root, &path, global_exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config::parse(
+            r#"
+            [rule.R1]
+            paths = ["crates/scoped/src"]
+            [rule.R2]
+            paths = ["crates/scoped/src"]
+            [rule.R6]
+            include_bins = false
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scoping_applies_r1_only_inside_determinism_paths() {
+        let cfg = config();
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(audit_source("crates/scoped/src/a.rs", src, &cfg).len(), 1);
+        assert!(audit_source("crates/other/src/a.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn bins_tests_benches_examples_are_exempt_by_class() {
+        let cfg = config();
+        let print = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(audit_source("crates/x/src/lib.rs", print, &cfg).len(), 1);
+        assert!(audit_source("crates/x/src/bin/tool.rs", print, &cfg).is_empty());
+        assert!(audit_source("crates/x/src/main.rs", print, &cfg).is_empty());
+        assert!(audit_source("crates/x/benches/b.rs", print, &cfg).is_empty());
+        assert!(audit_source("examples/quickstart.rs", print, &cfg).is_empty());
+        assert!(audit_source("crates/x/tests/t.rs", print, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt_but_live_code_is_not() {
+        let cfg = config();
+        let src = "\
+fn live() { let g = m.lock().unwrap(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { let g = m.lock().unwrap(); }\n\
+}\n";
+        let diags = audit_source("crates/x/src/lib.rs", src, &cfg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        // cfg(not(test)) is live code and stays audited.
+        let src = "#[cfg(not(test))]\nfn live() { let g = m.lock().unwrap(); }\n";
+        assert_eq!(audit_source("crates/x/src/lib.rs", src, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason_and_fails_without() {
+        let cfg = config();
+        let trailing = "fn f() { let g = m.lock().unwrap(); } // updp-lint: allow(R3, reason=\"test fixture\")\n";
+        assert!(audit_source("crates/x/src/lib.rs", trailing, &cfg).is_empty());
+        let standalone = "// updp-lint: allow(R3, reason=\"test fixture\")\nfn f() { let g = m.lock().unwrap(); }\n";
+        assert!(audit_source("crates/x/src/lib.rs", standalone, &cfg).is_empty());
+
+        let missing_reason = "// updp-lint: allow(R3)\nfn f() { let g = m.lock().unwrap(); }\n";
+        let diags = audit_source("crates/x/src/lib.rs", missing_reason, &cfg);
+        assert_eq!(
+            diags.len(),
+            2,
+            "missing reason + unsuppressed violation: {diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.rule_id == "allow"));
+        assert!(diags.iter().any(|d| d.rule_id == "R3"));
+
+        let empty_reason =
+            "fn f() { let g = m.lock().unwrap(); } // updp-lint: allow(R3, reason=\"  \")\n";
+        assert!(audit_source("crates/x/src/lib.rs", empty_reason, &cfg)
+            .iter()
+            .any(|d| d.message.contains("must not be empty")));
+    }
+
+    #[test]
+    fn unused_and_unknown_allows_are_diagnosed() {
+        let cfg = config();
+        let unused = "// updp-lint: allow(R3, reason=\"nothing here\")\nfn f() {}\n";
+        let diags = audit_source("crates/x/src/lib.rs", unused, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unused escape hatch"));
+
+        let unknown = "fn f() {} // updp-lint: allow(R99, reason=\"?\")\n";
+        let diags = audit_source("crates/x/src/lib.rs", unknown, &cfg);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn diagnostics_carry_exact_file_line_and_contract() {
+        let cfg = config();
+        let src = "use std::collections::HashMap;\n\nfn f() {\n  let t = Instant::now();\n}\n";
+        let diags = audit_source("crates/scoped/src/m.rs", src, &cfg);
+        let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        assert_eq!(diags.len(), 2);
+        assert!(
+            rendered[0].starts_with("crates/scoped/src/m.rs:1: R2 (hash-order):"),
+            "{}",
+            rendered[0]
+        );
+        assert!(
+            rendered[0].ends_with("[DESIGN.md §5, §7]"),
+            "{}",
+            rendered[0]
+        );
+        assert!(
+            rendered[1].starts_with("crates/scoped/src/m.rs:4: R1 (ambient-authority):"),
+            "{}",
+            rendered[1]
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! A lightweight Rust lexer, sufficient for contract auditing.
+//!
+//! The auditor's rules are lexical patterns over *code* tokens —
+//! `Instant :: now`, `. lock ( ) . unwrap`, a float literal adjacent to
+//! `==` — so the one thing the lexer must get exactly right is telling
+//! code apart from non-code: line comments, (nested) block comments,
+//! string literals with escapes, raw strings `r#"…"#` with any hash
+//! count, byte and raw-byte strings, char literals, and lifetimes.
+//! A stray `"Instant::now"` inside a string or a `// thread_rng` in a
+//! comment must never produce a diagnostic, and a real violation must
+//! never hide behind one. Comments are kept (with position info)
+//! because two rules read them: `// SAFETY:` justifications (R4) and
+//! `// updp-lint: allow(...)` escape hatches.
+//!
+//! This is deliberately not a full Rust lexer: numeric suffix grammar,
+//! `'label:` loop labels, and exotic literals are handled only as far
+//! as misclassifying them could flip an audit verdict.
+
+/// One code token (comments are reported separately, see [`Comment`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Token classification. String/char literal *contents* are dropped:
+/// no rule may ever match inside them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident(String),
+    /// Numeric literal; `float` is true for literals with a fractional
+    /// part, an exponent, or an `f32`/`f64` suffix.
+    Num { float: bool },
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// A lifetime such as `'a` (or a loop label).
+    Lifetime,
+    /// Any other single character (operators, braces, `#`, …).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment, kept verbatim for SAFETY/allow scanning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// True when code tokens precede the comment on its starting line
+    /// (a trailing comment annotates its own line; a standalone one
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// Lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into code tokens and comments. Never fails: unknown or
+/// unterminated constructs degrade to punctuation/literal tokens
+/// rather than aborting the audit of the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        last_token_line: 0,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    last_token_line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.last_token_line = line;
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, line);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_prefixed(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_prefixed(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+            trailing,
+        });
+    }
+
+    /// Consumes a plain/byte string body after the opening quote.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// At `r`, resolves the `r"…"` / `r#"…"#` / `r#ident` ambiguity.
+    fn raw_prefixed(&mut self, line: u32) {
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                self.push(TokenKind::Literal, line);
+            }
+            // `r#ident` — a raw identifier, lexed without the prefix.
+            _ if hashes == 1 => {
+                self.bump();
+                self.ident(line);
+            }
+            // Bare `r` followed by neither quote nor raw ident.
+            _ => self.push(TokenKind::Ident("r".into()), line),
+        }
+    }
+
+    /// Consumes a raw string body after `r#…#"`, closed by `"#…#` with
+    /// exactly `hashes` hashes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// At `'`: a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
+    /// lifetime/label (`'a`). Disambiguation: an escape or a
+    /// non-ident first char means char literal; an ident char followed
+    /// by a closing quote means char literal (`'x'`); otherwise
+    /// lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the `'`
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (or `u` of \u{…})
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Literal, line);
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal such as `'('`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokenKind::Literal, line);
+                } else {
+                    // Unterminated / unknown: degrade to punctuation.
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+            None => self.push(TokenKind::Punct('\''), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut float = false;
+        // Radix prefixes never start a float.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(TokenKind::Num { float }, line);
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // A fractional part: `.` followed by a digit (or end-of-number
+        // `1.`), but never `..` (range) or `.ident` (method call).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+                Some('.') => {}
+                Some(c) if c == '_' || c.is_alphabetic() => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+            if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                for _ in 0..sign {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`1.0f64`, `1u32`, …).
+        let mut suffix = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_alphanumeric()) {
+            suffix.push(self.peek(0).unwrap_or_default());
+            self.bump();
+        }
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        self.push(TokenKind::Num { float }, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(s), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_invisible() {
+        let src = r##"
+            let a = "Instant::now() thread_rng()"; // Instant::now()
+            /* HashMap::new() */
+            let b = r#"SystemTime::now() "quoted" "#;
+            let c = 'x'; let d: &'static str = "\" // not a comment";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "SystemTime"));
+        // The real code idents survive.
+        // (`'static` is a lifetime token, so `static` is rightly absent.)
+        for want in ["let", "a", "b", "c", "d", "str"] {
+            assert!(ids.iter().any(|i| i == want), "missing ident {want}");
+        }
+    }
+
+    #[test]
+    fn comments_are_collected_with_positions_and_trailing_flag() {
+        let src =
+            "let x = 1; // trailing\n// standalone\nlet y = 2;\n/* block\nspans */ let z = 3;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[2].line, 4);
+        assert_eq!(lexed.comments[2].end_line, 5);
+        assert!(!lexed.comments[2].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ let live = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(
+            idents("/* a /* b */ c */ let live = 1;"),
+            vec!["let", "live"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_raw_idents() {
+        // Raw string containing an unescaped quote + hash pattern.
+        let ids = idents(r###"let s = r##"has "# inside"##; let r#fn = 1;"###);
+        assert_eq!(ids, vec!["let", "s", "let", "fn"]);
+        // Byte and raw-byte strings.
+        let ids = idents(r#"let b = b"bytes"; let rb = br"raw bytes";"#);
+        assert_eq!(ids, vec!["let", "b", "let", "rb"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed =
+            lex("fn f<'a>(x: &'a str) { let c = 'c'; let n = '\\n'; let u = '\\u{1F600}'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let float_flags: Vec<bool> =
+            lex("1 1.5 1. 1e3 1E-3 0x1F 0b10 1_000 2.5f32 3f64 7u8 0..5 t.0")
+                .tokens
+                .iter()
+                .filter_map(|t| match t.kind {
+                    TokenKind::Num { float } => Some(float),
+                    _ => None,
+                })
+                .collect();
+        assert_eq!(
+            float_flags,
+            vec![
+                false, true, true, true, true, false, false, false, true, true, false, false,
+                false, false
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let lexed = lex("a\nb\n\nc /* x\ny */ d");
+        let lines: Vec<(Option<&str>, u32)> =
+            lexed.tokens.iter().map(|t| (t.ident(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                (Some("a"), 1),
+                (Some("b"), 2),
+                (Some("c"), 4),
+                (Some("d"), 5)
+            ]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! `updp-lint` — the first-party invariant auditor (DESIGN.md §9).
+//!
+//! The workspace's value rests on contracts that ordinary tests only
+//! check after the fact: bit-identical results at any thread count
+//! (DESIGN.md §5), RNG-free cached artifacts (§7), structured
+//! lock-poisoning and budget-ledger discipline (§6), and
+//! merge-determinism on append (§8). This crate enforces the *static*
+//! face of those contracts: a lightweight Rust lexer
+//! ([`lexer`] — comments, strings, and raw strings handled exactly)
+//! plus a rule engine ([`engine`]) that walks every `.rs` file in the
+//! workspace and applies the invariant catalog ([`rules::CATALOG`]):
+//!
+//! | id | invariant | contract |
+//! |----|-----------|----------|
+//! | R1 | no clocks / ambient RNG / env reads in determinism scope | §5, §7 |
+//! | R2 | no `HashMap`/`HashSet` in determinism scope              | §5, §7 |
+//! | R3 | no `.unwrap()`/`.expect()` on lock guards                | §6     |
+//! | R4 | every `unsafe` block carries `// SAFETY:`                | §4     |
+//! | R5 | no float `==`/`!=` vs. float literals/consts             | §1, §5 |
+//! | R6 | no `println!`/`eprintln!` in library crates              | §6     |
+//!
+//! Scoping lives in the committed `lint.toml` ([`config`]); per-line
+//! exemptions use `// updp-lint: allow(R<n>, reason="…")` and the
+//! reason is mandatory — the auditor turns undocumented exemptions,
+//! malformed allows, and *stale* allows into diagnostics of their own.
+//! The `updp-lint` binary is the CI gate: `--check` exits non-zero
+//! with `file:line` diagnostics citing the violated contract section;
+//! `--explain R<n>` prints the rationale.
+//!
+//! No external dependencies, per the vendored-shim policy (§4).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{audit_source, audit_workspace, AuditReport, Diagnostic};
+pub use rules::{Rule, CATALOG};

@@ -1,0 +1,132 @@
+//! The `updp-lint` CLI — the CI gate for the invariant catalog.
+//!
+//! ```text
+//! updp-lint --check [--root DIR]    audit the workspace; exit 1 on any diagnostic
+//! updp-lint --explain R<n>          print one rule's contract rationale
+//! updp-lint --list                  print the invariant catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use updp_lint::{audit_workspace, rules, CATALOG};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: updp-lint --check [--root DIR] | --explain RULE | --list");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut mode: Option<&str> = None;
+    let mut explain_rule = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => mode = Some("check"),
+            "--list" => mode = Some("list"),
+            "--explain" => {
+                mode = Some("explain");
+                i += 1;
+                match args.get(i) {
+                    Some(r) => explain_rule = r.clone(),
+                    None => return usage(),
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    match mode {
+        Some("list") => {
+            for rule in &CATALOG {
+                println!(
+                    "{} ({}) [{}]: {}",
+                    rule.id, rule.name, rule.contract, rule.summary
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explain") => match rules::find(&explain_rule) {
+            Some(rule) => {
+                println!("{} ({}) — {}", rule.id, rule.name, rule.contract);
+                println!("{}", rule.summary);
+                println!();
+                println!("{}", rule.rationale);
+                println!();
+                println!(
+                    "Escape hatch: `// updp-lint: allow({}, reason=\"…\")` on (or directly \
+                     above) the flagged line; the reason is mandatory and unused allows fail \
+                     the audit (DESIGN.md §9).",
+                    rule.id
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown rule `{explain_rule}` (known: {})",
+                    CATALOG.map(|r| r.id).join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        Some("check") => {
+            let root = match root.or_else(find_workspace_root) {
+                Some(r) => r,
+                None => {
+                    eprintln!("updp-lint: no lint.toml found here or in any parent directory");
+                    return ExitCode::from(2);
+                }
+            };
+            match audit_workspace(&root) {
+                Ok(report) => {
+                    for d in &report.diagnostics {
+                        println!("{d}");
+                    }
+                    if report.diagnostics.is_empty() {
+                        eprintln!(
+                            "updp-lint: clean — {} files audited, {} rules, 0 violations",
+                            report.files_audited,
+                            CATALOG.len()
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!(
+                            "updp-lint: {} violation(s) across {} files audited — run \
+                             `updp-lint --explain RULE` for the contract rationale",
+                            report.diagnostics.len(),
+                            report.files_audited
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("updp-lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Walks up from the current directory to the nearest `lint.toml`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The invariant catalog: what each rule enforces, which DESIGN.md
+//! contract it audits, and the lexical matcher that detects
+//! violations.
+//!
+//! Rules are deliberately *lexical over the token stream*, not
+//! type-aware: the auditor runs on every CI push, must never miss a
+//! violation because type inference got complicated, and accepts the
+//! cost that a rare legitimate use needs an explicit
+//! `// updp-lint: allow(R<n>, reason="…")` — a written, reviewable
+//! justification is exactly the escape-hatch policy (DESIGN.md §9).
+
+use crate::lexer::{Comment, Token, TokenKind};
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id, cited in diagnostics and allow comments (`R1`…).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// The DESIGN.md contract section the rule enforces.
+    pub contract: &'static str,
+    /// One-line summary (shown by `--list`).
+    pub summary: &'static str,
+    /// The full rationale (shown by `--explain`).
+    pub rationale: &'static str,
+}
+
+/// The six audited invariants (DESIGN.md §9 documents this catalog).
+pub const CATALOG: [Rule; 6] = [
+    Rule {
+        id: "R1",
+        name: "ambient-authority",
+        contract: "DESIGN.md §5, §7",
+        summary: "no wall clocks, ambient RNG, or environment reads in determinism-scoped code",
+        rationale: "Released values must be a pure function of (data, seed): bit-identical at any \
+                    thread count (§5) and across cached vs. bare dataset views (§7). A single \
+                    `Instant::now()`, `SystemTime`, `thread_rng()`, or `std::env` read inside an \
+                    estimator, the view cache, the parallel engine, or an experiment trial path \
+                    makes output depend on machine state that no seed controls — and the breakage \
+                    is invisible until a golden-bits test happens to cover the path. Clocks and \
+                    environment belong in binaries and the serve transport, never in the \
+                    determinism scope. Legitimate exceptions (e.g. the documented UPDP_THREADS \
+                    worker-count override, which §5 proves cannot change output bits) carry an \
+                    allow with the proof sketched in its reason.",
+    },
+    Rule {
+        id: "R2",
+        name: "hash-order",
+        contract: "DESIGN.md §5, §7",
+        summary: "no HashMap/HashSet in determinism-scoped code (BTree or explicit sort instead)",
+        rationale: "std's HashMap/HashSet iterate in randomized order (SipHash keys differ per \
+                    process), so any released value derived from their iteration order differs \
+                    run to run. Keyed lookup is semantically safe but a reviewer cannot tell a \
+                    lookup-only map from one that is iterated three PRs later, so the determinism \
+                    scope bans the types outright: use BTreeMap/BTreeSet (deterministic order, \
+                    and the maps here are small), or sort explicitly on a total key, or justify a \
+                    lookup-only use with an allow.",
+    },
+    Rule {
+        id: "R3",
+        name: "lock-poison-unwrap",
+        contract: "DESIGN.md §6",
+        summary:
+            "no .unwrap()/.expect() on Mutex/RwLock guards; map poisoning to structured errors",
+        rationale: "A panicking worker poisons the locks it held; unwrap()ing a poisoned guard \
+                    cascades that one panic into every thread that touches the lock, taking down \
+                    the whole serve process instead of failing one request. The registry and \
+                    ledger map poisoning to structured `Poisoned` errors that surface as a 500 \
+                    `internal` wire error (§6); all first-party lock acquisitions must either do \
+                    the same or recover explicitly (e.g. PoisonError::into_inner where the \
+                    guarded data is provably consistent), with the argument written down.",
+    },
+    Rule {
+        id: "R4",
+        name: "safety-comment",
+        contract: "DESIGN.md §4",
+        summary: "every `unsafe` block needs an adjacent `// SAFETY:` comment",
+        rationale: "The workspace is currently 100% `#![forbid(unsafe_code)]` (§4). If a future \
+                    optimization genuinely needs unsafe, the block must state the invariant it \
+                    relies on in a `// SAFETY:` comment on or immediately above the block, so the \
+                    proof obligation is reviewable and survives refactors. Unjustified unsafe is \
+                    rejected at CI time.",
+    },
+    Rule {
+        id: "R5",
+        name: "float-eq",
+        contract: "DESIGN.md §1, §5",
+        summary: "no float ==/!= against float literals or float consts; use total_cmp/to_bits",
+        rationale: "The determinism contracts are stated bitwise (§5: identical bits at any \
+                    thread count; §7/§8: cached and merge-maintained artifacts bit-identical to \
+                    cold builds), and float == is the classic way to *almost* check that: it \
+                    conflates -0.0 with 0.0, never matches NaN, and silently depends on \
+                    intermediate rounding. Comparisons that matter go through total_cmp or \
+                    to_bits. Exact sentinel checks against representable constants (0.0 width \
+                    degeneracy, fract() == 0.0 integrality) are legitimate — each carries an \
+                    allow whose reason states why exact equality is the intended semantics.",
+    },
+    Rule {
+        id: "R6",
+        name: "no-print",
+        contract: "DESIGN.md §6",
+        summary: "no println!/eprintln! in library crates (binaries own their streams)",
+        rationale: "Library stdout/stderr is owned by callers: the serve binary speaks a framed \
+                    wire protocol, the experiments binary emits machine-diffed tables, and the \
+                    bench binaries write committed JSON reports. A stray println! in a library \
+                    corrupts whichever of those streams the caller was producing (the §6 wire \
+                    framing bugs were exactly this class). Libraries return values and structured \
+                    errors; only binary targets print. (dbg! is covered by the workspace clippy \
+                    lint `dbg_macro` — complementary, no overlap.)",
+    },
+];
+
+/// Looks up a catalog rule by id.
+pub fn find(id: &str) -> Option<&'static Rule> {
+    CATALOG.iter().find(|r| r.id == id)
+}
+
+/// One raw rule hit (pre-allow): the violated rule, the line, and a
+/// message describing the specific match.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static Rule,
+    pub line: u32,
+    pub message: String,
+}
+
+fn finding(rule: &'static Rule, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        line,
+        message,
+    }
+}
+
+/// Runs one rule's matcher over a (possibly test-filtered) token
+/// stream. `comments` is the full comment list (R4 reads it).
+pub fn scan(rule: &'static Rule, tokens: &[Token], comments: &[Comment]) -> Vec<Finding> {
+    match rule.id {
+        "R1" => scan_ambient_authority(rule, tokens),
+        "R2" => scan_hash_order(rule, tokens),
+        "R3" => scan_lock_unwrap(rule, tokens),
+        "R4" => scan_safety_comment(rule, tokens, comments),
+        "R5" => scan_float_eq(rule, tokens),
+        "R6" => scan_no_print(rule, tokens),
+        other => unreachable!("no matcher for rule {other}"),
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens.get(i).and_then(Token::ident)
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// `tokens[i..]` starts with `a :: b`.
+fn path_pair(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    ident_at(tokens, i) == Some(a)
+        && punct_at(tokens, i + 1, ':')
+        && punct_at(tokens, i + 2, ':')
+        && ident_at(tokens, i + 3) == Some(b)
+}
+
+fn scan_ambient_authority(rule: &'static Rule, tokens: &[Token]) -> Vec<Finding> {
+    const ENV_READS: [&str; 9] = [
+        "var",
+        "var_os",
+        "vars",
+        "set_var",
+        "remove_var",
+        "args",
+        "args_os",
+        "temp_dir",
+        "current_dir",
+    ];
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if path_pair(tokens, i, "Instant", "now") {
+            out.push(finding(
+                rule,
+                line,
+                "`Instant::now()` inside determinism-scoped code — wall-clock time must not \
+                 influence released values"
+                    .into(),
+            ));
+        } else if ident_at(tokens, i) == Some("SystemTime") {
+            out.push(finding(
+                rule,
+                line,
+                "`SystemTime` inside determinism-scoped code — wall-clock time must not \
+                 influence released values"
+                    .into(),
+            ));
+        } else if ident_at(tokens, i) == Some("thread_rng") {
+            out.push(finding(
+                rule,
+                line,
+                "`thread_rng()` inside determinism-scoped code — all randomness must flow from \
+                 the §1.1 seed tree"
+                    .into(),
+            ));
+        } else if path_pair(tokens, i, "std", "env") {
+            out.push(finding(
+                rule,
+                line,
+                "`std::env` access inside determinism-scoped code — process environment must \
+                 not influence released values"
+                    .into(),
+            ));
+        } else if ident_at(tokens, i) == Some("env")
+            && punct_at(tokens, i + 1, ':')
+            && punct_at(tokens, i + 2, ':')
+            && ident_at(tokens, i + 3).is_some_and(|m| ENV_READS.contains(&m))
+            // `std::env::var` already reported at the `std` token.
+            && !(i >= 2 && punct_at(tokens, i - 1, ':') && punct_at(tokens, i - 2, ':'))
+        {
+            out.push(finding(
+                rule,
+                line,
+                format!(
+                    "`env::{}` inside determinism-scoped code — process environment must not \
+                     influence released values",
+                    ident_at(tokens, i + 3).unwrap_or_default()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn scan_hash_order(rule: &'static Rule, tokens: &[Token]) -> Vec<Finding> {
+    tokens
+        .iter()
+        .filter(|t| matches!(t.ident(), Some("HashMap" | "HashSet")))
+        .map(|t| {
+            finding(
+                rule,
+                t.line,
+                format!(
+                    "`{}` in determinism-scoped code — iteration order is per-process random; \
+                     use BTreeMap/BTreeSet or an explicit sort on a total key",
+                    t.ident().unwrap_or_default()
+                ),
+            )
+        })
+        .collect()
+}
+
+fn scan_lock_unwrap(rule: &'static Rule, tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        // `. lock ( ) . unwrap|expect (` — argless read()/write() are
+        // lock acquisitions (io::Read::read takes a buffer argument).
+        if punct_at(tokens, i, '.')
+            && matches!(ident_at(tokens, i + 1), Some("lock" | "read" | "write"))
+            && punct_at(tokens, i + 2, '(')
+            && punct_at(tokens, i + 3, ')')
+            && punct_at(tokens, i + 4, '.')
+            && matches!(ident_at(tokens, i + 5), Some("unwrap" | "expect"))
+            && punct_at(tokens, i + 6, '(')
+        {
+            out.push(finding(
+                rule,
+                tokens[i + 5].line,
+                format!(
+                    "`.{}().{}()` on a lock guard — a poisoned lock cascades one worker's panic \
+                     into every thread; map poisoning to a structured error instead",
+                    ident_at(tokens, i + 1).unwrap_or_default(),
+                    ident_at(tokens, i + 5).unwrap_or_default(),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn scan_safety_comment(
+    rule: &'static Rule,
+    tokens: &[Token],
+    comments: &[Comment],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        // A `// SAFETY:` comment counts when it ends on the unsafe
+        // block's line or within the 2 lines above it (attributes or
+        // the fn signature may sit between).
+        let justified = comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 2 >= t.line
+        });
+        if !justified {
+            out.push(finding(
+                rule,
+                t.line,
+                "`unsafe` without an adjacent `// SAFETY:` comment — state the invariant the \
+                 block relies on, on or immediately above it"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
+/// Float constants that identify a comparison operand as a float even
+/// without type information, when qualified by `f32`/`f64`.
+const FLOAT_CONSTS: [&str; 7] = [
+    "NAN",
+    "INFINITY",
+    "NEG_INFINITY",
+    "EPSILON",
+    "MIN_POSITIVE",
+    "MAX",
+    "MIN",
+];
+
+/// Is the token ending at `i` (reading left) a float operand?
+/// Matches `1.5` and `f64::NAN`-style qualified consts.
+fn float_operand_before(tokens: &[Token], i: usize) -> bool {
+    let Some(t) = tokens.get(i) else { return false };
+    match &t.kind {
+        TokenKind::Num { float } => *float,
+        TokenKind::Ident(name) if FLOAT_CONSTS.contains(&name.as_str()) => {
+            i >= 3
+                && punct_at(tokens, i - 1, ':')
+                && punct_at(tokens, i - 2, ':')
+                && matches!(ident_at(tokens, i - 3), Some("f32" | "f64"))
+        }
+        _ => false,
+    }
+}
+
+/// Is the token sequence starting at `i` (reading right) a float
+/// operand? Skips a leading unary minus; matches literals and
+/// `f64::CONST` paths.
+fn float_operand_after(tokens: &[Token], mut i: usize) -> bool {
+    if punct_at(tokens, i, '-') {
+        i += 1;
+    }
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Num { float }) => *float,
+        Some(TokenKind::Ident(name)) if name == "f32" || name == "f64" => {
+            punct_at(tokens, i + 1, ':')
+                && punct_at(tokens, i + 2, ':')
+                && ident_at(tokens, i + 3).is_some_and(|c| FLOAT_CONSTS.contains(&c))
+        }
+        _ => false,
+    }
+}
+
+fn scan_float_eq(rule: &'static Rule, tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len().saturating_sub(1) {
+        let op = if punct_at(tokens, i, '=') && punct_at(tokens, i + 1, '=') {
+            // Exclude `<=`, `>=`, `!=`'s second char, and `==`'s own
+            // second char re-matching.
+            if i > 0 && matches!(tokens[i - 1].kind, TokenKind::Punct('<' | '>' | '!' | '=')) {
+                continue;
+            }
+            "=="
+        } else if punct_at(tokens, i, '!') && punct_at(tokens, i + 1, '=') {
+            "!="
+        } else {
+            continue;
+        };
+        if tokens[i].line != tokens[i + 1].line {
+            continue;
+        }
+        if float_operand_before(tokens, i.wrapping_sub(1)) || float_operand_after(tokens, i + 2) {
+            out.push(finding(
+                rule,
+                tokens[i].line,
+                format!(
+                    "float `{op}` against a float literal/constant — bitwise contracts compare \
+                     via total_cmp or to_bits; if exact equality is the intended semantics, say \
+                     why in an allow reason"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn scan_no_print(rule: &'static Rule, tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len().saturating_sub(1) {
+        if matches!(
+            ident_at(tokens, i),
+            Some("println" | "eprintln" | "print" | "eprint")
+        ) && punct_at(tokens, i + 1, '!')
+        {
+            out.push(finding(
+                rule,
+                tokens[i].line,
+                format!(
+                    "`{}!` in a library crate — libraries return values and structured errors; \
+                     stdout/stderr belong to binary targets",
+                    ident_at(tokens, i).unwrap_or_default()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hits(rule_id: &str, src: &str) -> Vec<(u32, String)> {
+        let lexed = lex(src);
+        scan(find(rule_id).unwrap(), &lexed.tokens, &lexed.comments)
+            .into_iter()
+            .map(|f| (f.line, f.message))
+            .collect()
+    }
+
+    #[test]
+    fn r1_matches_each_ambient_source_with_exact_lines() {
+        let src = "fn f() {\n  let t = Instant::now();\n  let r = thread_rng();\n  let e = std::env::var(\"X\");\n  let s = SystemTime::now();\n  let v = env::var(\"Y\");\n}\n";
+        let got: Vec<u32> = hits("R1", src).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(got, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn r1_clean_code_and_masked_mentions_pass() {
+        assert!(hits(
+            "R1",
+            "// Instant::now in a comment\nlet s = \"thread_rng\";\nlet instant = now();\n"
+        )
+        .is_empty());
+        // `environment` as a plain ident is not `env::`.
+        assert!(hits("R1", "let env = environment();\n").is_empty());
+    }
+
+    #[test]
+    fn r2_flags_hash_types_and_spares_btree() {
+        assert_eq!(hits("R2", "use std::collections::HashMap;\n")[0].0, 1);
+        assert_eq!(hits("R2", "let s: HashSet<u32> = x;\n").len(), 1);
+        assert!(hits("R2", "use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn r3_flags_guard_unwraps_including_multiline_and_spares_mapped() {
+        assert_eq!(hits("R3", "let g = m.lock().unwrap();\n").len(), 1);
+        assert_eq!(
+            hits("R3", "let g = m\n  .read()\n  .expect(\"x\");\n")[0].0,
+            3
+        );
+        assert_eq!(hits("R3", "let g = m.write().unwrap();\n").len(), 1);
+        assert!(hits("R3", "let g = m.lock().map_err(|_| E::Poisoned)?;\n").is_empty());
+        // io::Read::read takes a buffer — not a lock acquisition.
+        assert!(hits("R3", "stream.read(&mut buf).unwrap();\n").is_empty());
+        assert!(hits(
+            "R3",
+            "let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r4_requires_adjacent_safety_comment() {
+        assert_eq!(hits("R4", "fn f() {\n  unsafe { core() }\n}\n").len(), 1);
+        assert!(hits(
+            "R4",
+            "// SAFETY: ptr is valid for len bytes\nunsafe { core() }\n"
+        )
+        .is_empty());
+        assert!(hits("R4", "unsafe { core() } // SAFETY: same-line note\n").is_empty());
+        // Too far away: three lines of separation is no longer adjacent.
+        assert_eq!(
+            hits(
+                "R4",
+                "// SAFETY: stale\nfn a() {}\nfn b() {}\nunsafe { core() }\n"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn r5_flags_literal_and_const_float_comparisons() {
+        assert_eq!(hits("R5", "if width == 0.0 { }\n").len(), 1);
+        assert_eq!(hits("R5", "if x != 1.5 { }\n").len(), 1);
+        assert_eq!(hits("R5", "if x == -2.5e3 { }\n").len(), 1);
+        assert_eq!(hits("R5", "if w == f64::NEG_INFINITY { }\n").len(), 1);
+        assert_eq!(hits("R5", "if f64::NAN == w { }\n").len(), 1);
+        assert_eq!(hits("R5", "if 0.5 == x { }\n").len(), 1);
+    }
+
+    #[test]
+    fn r5_spares_integers_ranges_and_bitwise_idioms() {
+        assert!(hits("R5", "if n == 0 { }\n").is_empty());
+        assert!(
+            hits("R5", "if i32::MAX == n { }\n").is_empty(),
+            "int consts are not floats"
+        );
+        assert!(hits("R5", "for i in 0..5 { }\n").is_empty());
+        assert!(hits("R5", "if a.to_bits() == b.to_bits() { }\n").is_empty());
+        assert!(
+            hits("R5", "if x <= 1.0 { }\n").is_empty(),
+            "ordering comparisons are fine"
+        );
+        assert!(hits("R5", "if x >= 1.0 { }\n").is_empty());
+        assert!(
+            hits("R5", "let f = |x| x == y;\n").is_empty(),
+            "untyped operands are clippy float_cmp's job"
+        );
+    }
+
+    #[test]
+    fn r6_flags_prints_and_spares_write_macros() {
+        assert_eq!(hits("R6", "println!(\"x\");\neprintln!(\"y\");\n").len(), 2);
+        assert_eq!(hits("R6", "print!(\"x\");\n").len(), 1);
+        assert!(hits("R6", "writeln!(out, \"x\")?;\n").is_empty());
+        assert!(
+            hits("R6", "let println = 3; let x = println + 1;\n").is_empty(),
+            "ident without bang"
+        );
+    }
+}

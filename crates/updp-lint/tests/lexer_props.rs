@@ -1,0 +1,154 @@
+//! Property tests for the lexer's *invisibility* guarantees.
+//!
+//! Every rule matcher works on the token stream, so the entire audit is
+//! only as sound as the lexer's claim that comment and string interiors
+//! produce no tokens. These properties pin that claim over randomized
+//! content — including `//`, `"` and `#` runs *inside* the wrapped
+//! text — rather than the handful of hand-picked cases in the unit
+//! tests.
+
+use proptest::prelude::*;
+use updp_lint::lexer::{lex, TokenKind};
+
+/// Maps a random byte vector onto printable ASCII (space..`~`), the
+/// alphabet all wrapped-content properties draw from. Newlines are
+/// excluded here; properties that need them insert them deliberately.
+fn printable(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| char::from(32 + (b % 95))).collect()
+}
+
+/// True when `tokens` contains an identifier — the leak the wrapping
+/// properties assert can never happen.
+fn has_ident(src: &str) -> bool {
+    lex(src)
+        .tokens
+        .iter()
+        .any(|t| matches!(t.kind, TokenKind::Ident(_)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Anything after `//` on a line is comment text: no tokens, one
+    /// comment record, regardless of what the content looks like
+    /// (quotes, `/*`, more slashes, ...).
+    #[test]
+    fn line_comment_swallows_content(bytes in prop::collection::vec(0u8..255, 0..60)) {
+        let body = printable(&bytes);
+        let src = format!("// {body}\n");
+        let lexed = lex(&src);
+        prop_assert!(lexed.tokens.is_empty(), "tokens leaked from {src:?}");
+        prop_assert_eq!(lexed.comments.len(), 1);
+        prop_assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    /// Block-comment interiors are invisible. The content is sanitized
+    /// so it cannot open or close a nested block itself (`*`+`/`
+    /// adjacency broken), which keeps the wrapper balanced; everything
+    /// else — quotes, slashes, hashes — rides along unescaped.
+    #[test]
+    fn block_comment_swallows_content(bytes in prop::collection::vec(0u8..255, 0..60)) {
+        let body = printable(&bytes).replace("*/", "* /").replace("/*", "/ *");
+        let src = format!("let a = 1; /* {body} */ let b = 2;");
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "a", "let", "b"], "from {}", src);
+    }
+
+    /// String interiors are a single `Literal` token: no identifier in
+    /// the content can leak, however it is quoted or escaped. `"` and
+    /// `\` are escaped to keep the wrapper itself balanced.
+    #[test]
+    fn string_swallows_content(bytes in prop::collection::vec(0u8..255, 0..60)) {
+        let body = printable(&bytes).replace('\\', "\\\\").replace('"', "\\\"");
+        let src = format!("let s = \"{body}\";");
+        let lexed = lex(&src);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal))
+            .count();
+        prop_assert_eq!(literals, 1, "from {}", src);
+        prop_assert!(!has_ident(&format!("\"{body}\"")), "ident leaked from string {body:?}");
+        prop_assert!(lexed.comments.is_empty(), "comment conjured inside {src:?}");
+    }
+
+    /// Raw strings swallow *anything* — backslashes, quotes, even `"#`
+    /// runs — once the delimiter uses more hashes than the longest run
+    /// in the content. Exercises the hash-counting loop at every depth.
+    #[test]
+    fn raw_string_swallows_content(bytes in prop::collection::vec(0u8..255, 0..60)) {
+        let body = printable(&bytes);
+        let longest_run = body
+            .split(|c| c != '#')
+            .map(str::len)
+            .max()
+            .unwrap_or(0);
+        let hashes = "#".repeat(longest_run + 1);
+        let src = format!("let s = r{hashes}\"{body}\"{hashes};");
+        let lexed = lex(&src);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal))
+            .count();
+        prop_assert_eq!(literals, 1, "from {}", src);
+        let idents: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .map(|t| matches!(&t.kind, TokenKind::Ident(s) if s != "let" && s != "s"))
+            .collect();
+        prop_assert!(!idents.contains(&true), "ident leaked from {src:?}");
+    }
+
+    /// The lexer is total and line numbers are monotone non-decreasing
+    /// over completely arbitrary printable soup with injected newlines
+    /// — it must never panic, loop, or walk lines backwards, even on
+    /// unbalanced delimiters.
+    #[test]
+    fn lexing_is_total_and_lines_monotone(
+        bytes in prop::collection::vec(0u8..255, 0..120),
+        newline_mask in 0u64..u64::MAX,
+    ) {
+        let mut src = printable(&bytes);
+        let mut out = String::with_capacity(src.len() + 8);
+        for (i, c) in src.drain(..).enumerate() {
+            out.push(c);
+            if i < 64 && newline_mask & (1 << i) != 0 {
+                out.push('\n');
+            }
+        }
+        let lexed = lex(&out);
+        let mut prev = 0u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= prev, "line went backwards in {out:?}");
+            prev = t.line;
+        }
+        let total_lines = out.lines().count().max(1) as u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line <= total_lines, "token line {} beyond {total_lines}", t.line);
+        }
+    }
+
+    /// Code *between* comments keeps correct line numbers: a token
+    /// following `k` comment-only lines sits on line `k + 1`.
+    #[test]
+    fn comments_do_not_shift_line_numbers(k in 0usize..12) {
+        let mut src = String::new();
+        for i in 0..k {
+            src.push_str(&format!("// filler {i}\n"));
+        }
+        src.push_str("marker");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.tokens.len(), 1);
+        prop_assert_eq!(lexed.tokens[0].line, (k + 1) as u32);
+        prop_assert_eq!(lexed.comments.len(), k);
+    }
+}

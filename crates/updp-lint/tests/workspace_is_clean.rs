@@ -1,0 +1,145 @@
+//! The gate itself, as a test: the shipped tree must audit clean, and
+//! a planted violation must fail with a `file:line` diagnostic and a
+//! non-zero exit. Running this under plain `cargo test` means the
+//! invariant catalog is enforced even where CI's dedicated lint step
+//! is not wired (e.g. local pre-push runs).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use updp_lint::{audit_workspace, Config};
+
+/// The workspace root, resolved from this crate's manifest dir — the
+/// directory holding the committed `lint.toml`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn shipped_tree_audits_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("lint.toml").is_file(),
+        "lint.toml missing at {}",
+        root.display()
+    );
+    let report = audit_workspace(&root).expect("audit runs");
+    assert!(
+        report.files_audited > 50,
+        "suspiciously few files audited ({}) — walk is broken",
+        report.files_audited
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "shipped tree has lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn planted_violation_yields_file_line_diagnostic() {
+    // A violating fixture pushed through the *committed* config, so
+    // the test exercises the real scoping: a determinism-scoped path
+    // with an ambient time read and a HashMap.
+    let root = workspace_root();
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml readable");
+    let config = Config::parse(&config_text).expect("committed lint.toml parses");
+
+    let fixture = "use std::time::Instant;\n\
+                   use std::collections::HashMap;\n\
+                   pub fn now() -> std::time::Instant {\n\
+                       Instant::now()\n\
+                   }\n";
+    let diags = updp_lint::audit_source("crates/updp-core/src/planted.rs", fixture, &config);
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-core/src/planted.rs:4: R1")),
+        "R1 diagnostic with exact line missing: {rendered:?}"
+    );
+    assert!(
+        rendered.iter().any(|d| d.contains(": R2")),
+        "R2 diagnostic missing: {rendered:?}"
+    );
+    // Diagnostics cite the contract section the rule enforces.
+    assert!(
+        rendered.iter().all(|d| d.contains("DESIGN.md")),
+        "diagnostics must cite contract sections: {rendered:?}"
+    );
+
+    // The same fixture under a *test* path is out of scope (R1/R2
+    // audit shipped library code, not test helpers).
+    let diags = updp_lint::audit_source("crates/updp-core/tests/planted.rs", fixture, &config);
+    assert!(diags.is_empty(), "test files must be exempt: {diags:?}");
+}
+
+#[test]
+fn check_mode_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_updp-lint");
+
+    // Clean tree → exit 0.
+    let ok = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("updp-lint runs");
+    assert!(
+        ok.status.success(),
+        "clean tree must pass --check\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Tree with a planted violation → non-zero exit, file:line on stdout.
+    let dir = std::env::temp_dir().join(format!("updp-lint-fixture-{}", std::process::id()));
+    let src_dir = dir.join("crates/updp-core/src");
+    std::fs::create_dir_all(&src_dir).expect("fixture tree");
+    std::fs::copy(workspace_root().join("lint.toml"), dir.join("lint.toml"))
+        .expect("fixture lint.toml");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .expect("fixture source");
+
+    let bad = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("updp-lint runs");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!bad.status.success(), "planted violation must fail --check");
+    assert!(
+        stdout.contains("crates/updp-core/src/bad.rs:1: R1"),
+        "diagnostic must carry file:line and rule id, got: {stdout}"
+    );
+}
+
+#[test]
+fn explain_covers_every_rule() {
+    let bin = env!("CARGO_BIN_EXE_updp-lint");
+    for rule in updp_lint::CATALOG.iter() {
+        let out = Command::new(bin)
+            .args(["--explain", rule.id])
+            .output()
+            .expect("updp-lint runs");
+        assert!(out.status.success(), "--explain {} failed", rule.id);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(rule.contract),
+            "--explain {} must cite {}",
+            rule.id,
+            rule.contract
+        );
+    }
+}

@@ -311,6 +311,9 @@ fn parse_snapshot(text: &str) -> Result<HashMap<String, Account>, LedgerError> {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -152,6 +152,9 @@ pub fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -5,6 +5,10 @@
 //! iqr) → bit-identical `results` on repeat with the same seed →
 //! budget-exhaustion refusal → restart does not restore spent budget.
 
+// Exact `==` on f64 is deliberate here: these tests pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#![allow(clippy::float_cmp)]
+
 use std::path::PathBuf;
 use updp_core::json::JsonValue;
 use updp_dist::ContinuousDistribution;

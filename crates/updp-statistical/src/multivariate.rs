@@ -87,6 +87,9 @@ pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+// Exact `==` on f64 is deliberate in tests: they pin bit-identical
+// outputs (DESIGN.md §5), so an epsilon tolerance would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use updp_core::rng::seeded;
