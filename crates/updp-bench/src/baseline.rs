@@ -49,6 +49,12 @@ pub struct BaselineReport {
     /// `std::thread::available_parallelism()` on the measuring host —
     /// the context needed to interpret `speedup`.
     pub host_threads: usize,
+    /// Kernel release of the measuring host (empty when parsed from a
+    /// v1 report or when unavailable).
+    pub host_kernel: String,
+    /// CPU architecture of the measuring host (empty when parsed from
+    /// a v1 report).
+    pub host_arch: String,
     /// Macro workload timings.
     pub micro: Vec<MicroRow>,
     /// Experiment-suite wall times.
@@ -57,8 +63,23 @@ pub struct BaselineReport {
     pub note: String,
 }
 
-/// The current schema tag.
-pub const SCHEMA: &str = "updp-bench-baseline/v1";
+/// The current schema tag. v2 added the host metadata fields
+/// (`host_kernel`, `host_arch`) so a baseline regenerated on
+/// different hardware is distinguishable after the fact.
+pub const SCHEMA: &str = "updp-bench-baseline/v2";
+
+/// The previous schema tag: the committed BENCH_baseline.json still
+/// carries it, and it must keep parsing (the host metadata defaults
+/// to empty).
+pub const SCHEMA_V1: &str = "updp-bench-baseline/v1";
+
+/// Host metadata for the report: `(kernel release, architecture)`.
+pub fn host_meta() -> (String, String) {
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    (kernel, std::env::consts::ARCH.to_string())
+}
 
 impl BaselineReport {
     /// Serializes to pretty-printed JSON (stable field order).
@@ -78,6 +99,8 @@ impl BaselineReport {
         let doc = JsonValue::object(vec![
             ("schema", self.schema.as_str().into()),
             ("host_threads", self.host_threads.into()),
+            ("host_kernel", self.host_kernel.as_str().into()),
+            ("host_arch", self.host_arch.as_str().into()),
             ("micro", JsonValue::Array(micro)),
             (
                 "experiments_quick",
@@ -95,14 +118,23 @@ impl BaselineReport {
         out
     }
 
-    /// Parses a report previously produced by [`BaselineReport::to_json`].
+    /// Parses a report previously produced by [`BaselineReport::to_json`]
+    /// — the current v2 layout or the committed v1 one (whose host
+    /// metadata defaults to empty).
     pub fn from_json(input: &str) -> Result<Self, String> {
         let value = JsonValue::parse(input)?;
         let obj = value.as_object("top level")?;
         let schema = obj.get_str("schema")?;
-        if schema != SCHEMA {
-            return Err(format!("unknown schema `{schema}`, expected `{SCHEMA}`"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V1}`)"
+            ));
         }
+        let (host_kernel, host_arch) = if schema == SCHEMA {
+            (obj.get_str("host_kernel")?, obj.get_str("host_arch")?)
+        } else {
+            (String::new(), String::new())
+        };
         let micro = obj
             .get_array("micro")?
             .iter()
@@ -121,6 +153,8 @@ impl BaselineReport {
         Ok(BaselineReport {
             schema,
             host_threads: obj.get_usize("host_threads")?,
+            host_kernel,
+            host_arch,
             micro,
             experiments_quick: ExperimentsQuick {
                 serial_ms: eq.get_f64("serial_ms")?,
@@ -141,6 +175,8 @@ mod tests {
         BaselineReport {
             schema: SCHEMA.into(),
             host_threads: 4,
+            host_kernel: "6.1.0-test".into(),
+            host_arch: "x86_64".into(),
             micro: vec![
                 MicroRow {
                     workload: "estimate_mean".into(),
@@ -193,6 +229,10 @@ mod tests {
         let report = BaselineReport::from_json(legacy).unwrap();
         assert_eq!(report.micro.len(), 1);
         assert_eq!(report.experiments_quick.threads, 1);
+        // v1 carries no host metadata: the fields default to empty.
+        assert_eq!(report.schema, SCHEMA_V1);
+        assert_eq!(report.host_kernel, "");
+        assert_eq!(report.host_arch, "");
     }
 
     #[test]

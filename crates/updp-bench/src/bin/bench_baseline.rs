@@ -17,7 +17,7 @@
 //! and `BENCH_baseline.json`'s schema from rotting. Nothing is written.
 
 use std::time::Instant;
-use updp_bench::baseline::{BaselineReport, ExperimentsQuick, MicroRow, SCHEMA};
+use updp_bench::baseline::{host_meta, BaselineReport, ExperimentsQuick, MicroRow, SCHEMA};
 use updp_bench::gaussian_data;
 use updp_core::privacy::Epsilon;
 use updp_experiments::{registry, ExpConfig};
@@ -120,9 +120,12 @@ fn main() {
         let ids = ["emp-mean", "iqr-lb"];
         let serial_ms = experiments_ms(&cfg, Some(&ids), 1);
         let parallel_ms = experiments_ms(&cfg, Some(&ids), threads);
+        let (host_kernel, host_arch) = host_meta();
         BaselineReport {
             schema: SCHEMA.into(),
             host_threads: threads,
+            host_kernel,
+            host_arch,
             micro: micro_rows(&[2_000]),
             experiments_quick: ExperimentsQuick {
                 serial_ms,
@@ -147,9 +150,12 @@ fn main() {
         } else {
             format!("measured at available_parallelism() = {threads}")
         };
+        let (host_kernel, host_arch) = host_meta();
         BaselineReport {
             schema: SCHEMA.into(),
             host_threads: threads,
+            host_kernel,
+            host_arch,
             micro: micro_rows(&[10_000, 100_000, 1_000_000, 10_000_000]),
             experiments_quick: ExperimentsQuick {
                 serial_ms,

@@ -10,10 +10,14 @@
 //! Without `--addr`, an in-process server is started on an ephemeral
 //! port (self-contained measurement). Each connection count `c` gets
 //! a fresh run: `c` threads, each with its own keep-alive connection
-//! and its own registered dataset (a huge ε budget, so the run is
-//! never starved), each issuing `--requests` hardened batch queries
-//! (mean + quantile(0.9) + iqr). Latency is per request, merged
-//! across connections; p50/p99 are nearest-rank.
+//! over a registered dataset (a huge ε budget, so the run is never
+//! starved; at most 64 distinct datasets per level — beyond that,
+//! workers share round-robin, keeping setup cost sane at the 256/1024
+//! fan-in levels), each issuing hardened batch queries
+//! (mean + quantile(0.9) + iqr). Per-connection request counts scale
+//! down past 8 connections (`requests·8/c`, floor 10) so the sweep
+//! measures fan-in latency, not ever-longer wall time. Latency is per
+//! request, merged across connections; p50/p99 are nearest-rank.
 //!
 //! Two additional single-connection workloads measure the
 //! `PreparedDataset` cache win on repeated same-dataset quantile
@@ -43,7 +47,7 @@
 
 use std::time::{Duration, Instant};
 use updp_serve::client::{query_body, Connection};
-use updp_serve::report::{percentile_ms, LoadRun, ServeReport, SCHEMA};
+use updp_serve::report::{host_meta, percentile_ms, LoadRun, ServeReport, SCHEMA};
 use updp_serve::{FlushPolicy, Ledger, Server};
 
 fn die(message: &str) -> ! {
@@ -59,17 +63,36 @@ fn gaussian(n: usize, seed: u64) -> Vec<f64> {
         .sample_vec(&mut rng, n)
 }
 
+/// At most this many distinct datasets per load level: beyond it,
+/// connections share datasets round-robin. Keeps the 256/1024 fan-in
+/// levels about transport fan-in rather than registration volume.
+const MAX_LEVEL_DATASETS: usize = 64;
+
+/// Per-connection request count at level `c`: the configured count up
+/// to 8 connections, then scaled down (`requests·8/c`, floor 10) so
+/// total work per level stays roughly constant across the sweep.
+fn requests_at(connections: usize, requests: usize) -> usize {
+    if connections <= 8 {
+        requests
+    } else {
+        ((requests * 8) / connections).max(10)
+    }
+}
+
 /// One load level: `connections` worker threads, each issuing
-/// `requests` queries on its own dataset. Returns the merged run row.
+/// [`requests_at`] queries on its (possibly shared) dataset. Returns
+/// the merged run row.
 fn run_level(addr: &str, connections: usize, requests: usize, records: usize) -> LoadRun {
-    // Register the per-connection datasets first (setup, not timed).
-    // 409 means a previous loadgen run against this server already
-    // registered the name — re-attach instead of dying, so repeat
-    // measurements against a long-running server work.
-    for worker in 0..connections {
-        let mut setup = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
-        let name = format!("load-c{connections}-w{worker}");
-        match setup.register(&name, 1e12, &gaussian(records, worker as u64)) {
+    let requests = requests_at(connections, requests);
+    let datasets = connections.min(MAX_LEVEL_DATASETS);
+    // Register the datasets first over one connection (setup, not
+    // timed). 409 means a previous loadgen run against this server
+    // already registered the name — re-attach instead of dying, so
+    // repeat measurements against a long-running server work.
+    let mut setup = Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
+    for dataset in 0..datasets {
+        let name = format!("load-c{connections}-w{dataset}");
+        match setup.register(&name, 1e12, &gaussian(records, dataset as u64)) {
             Ok(_) => {}
             Err(updp_serve::client::ClientError::Status { status: 409, .. }) => {}
             Err(e) => die(&format!("register {name}: {e}")),
@@ -80,7 +103,7 @@ fn run_level(addr: &str, connections: usize, requests: usize, records: usize) ->
         let handles: Vec<_> = (0..connections)
             .map(|worker| {
                 scope.spawn(move || {
-                    let name = format!("load-c{connections}-w{worker}");
+                    let name = format!("load-c{connections}-w{}", worker % datasets);
                     let mut connection =
                         Connection::open(addr).unwrap_or_else(|e| die(&e.to_string()));
                     let mut latencies = Vec::with_capacity(requests);
@@ -252,7 +275,7 @@ fn run_streaming(
 fn main() {
     let mut addr: Option<String> = None;
     let mut requests = 500usize;
-    let mut connections = vec![1usize, 8];
+    let mut connections = vec![1usize, 8, 64, 256, 1024];
     let mut records = 10_000usize;
     let mut quantile_records = 100_000usize;
     let mut streaming_ratio = "1:1".to_string();
@@ -300,7 +323,10 @@ fn main() {
         .unwrap_or_else(|| die("bad --streaming-ratio, need A:Q with A, Q >= 1"));
     if check {
         requests = 5;
-        connections = vec![1, 2];
+        // 64 connections in smoke mode: exercises the reactor's
+        // fan-in path (sharded accept, per-connection parsers) in CI,
+        // not just the schema.
+        connections = vec![1, 64];
         records = 2_000;
         quantile_records = 2_000;
     }
@@ -329,7 +355,10 @@ fn main() {
     let mut runs: Vec<LoadRun> = connections
         .iter()
         .map(|&c| {
-            eprintln!("loadgen: level c = {c} ({requests} requests/connection)");
+            eprintln!(
+                "loadgen: level c = {c} ({} requests/connection)",
+                requests_at(c, requests)
+            );
             run_level(&addr, c, requests, records)
         })
         .collect();
@@ -355,9 +384,12 @@ fn main() {
         append_ratio,
         query_ratio,
     ));
+    let (host_kernel, host_arch) = host_meta();
     let report = ServeReport {
         schema: SCHEMA.into(),
         host_threads,
+        host_kernel,
+        host_arch,
         dataset_records: records,
         quantile_records,
         streaming_ratio: format!("{append_ratio}:{query_ratio}"),
@@ -365,7 +397,12 @@ fn main() {
         note: if check {
             "smoke mode (--check): numbers are not a baseline".into()
         } else {
-            format!("hardened batch (mean + p90 + iqr) per request; repeat-quantile cold = fresh dataset per request (pre-cache cost), warm = one dataset repeatedly (PreparedDataset grid cache); streaming = buffered 1-row appends + flush (one snapshot per burst, caches merge-maintained) + quantile queries on the fresh snapshot; host_threads = {host_threads}")
+            let single_core_caveat = if host_threads == 1 {
+                " CAVEAT: measured on 1 core — a closed-loop sweep on a saturated single core queues requests behind each other, so p50/p99 grow roughly linearly with the connection count (c × service time); flat-p99 fan-in is only observable with more cores than the request stream saturates."
+            } else {
+                ""
+            };
+            format!("hardened batch (mean + p90 + iqr) per request, epoll reactor transport; repeat-quantile cold = fresh dataset per request (pre-cache cost), warm = one dataset repeatedly (PreparedDataset grid cache); streaming = buffered 1-row appends + flush (one snapshot per burst, caches merge-maintained) + quantile queries on the fresh snapshot; host_threads = {host_threads}.{single_core_caveat}")
         },
     };
 

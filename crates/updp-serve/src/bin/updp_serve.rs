@@ -3,6 +3,7 @@
 //! ```text
 //! updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH]
 //!            [--buffer-rows N] [--buffer-age-ms MS]
+//!            [--workers N] [--max-conns N]
 //! ```
 //!
 //! * `--addr` — bind address; default `127.0.0.1:7817`. Use port 0
@@ -19,13 +20,18 @@
 //!   log and publish one snapshot when either threshold is hit, or on
 //!   explicit `POST /v1/flush`. Default `--buffer-rows 1`: every
 //!   append publishes immediately (the historical behaviour).
+//! * `--workers` — reactor worker shards (DESIGN.md §10). Default 0:
+//!   one shard per available hardware thread.
+//! * `--max-conns` — live-connection cap across all shards; beyond it
+//!   new connections are answered with a structured 503 `overloaded`
+//!   and closed. Default 4096.
 
-use updp_serve::{FlushPolicy, Ledger, Server};
+use updp_serve::{FlushPolicy, Ledger, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH] \
-         [--buffer-rows N] [--buffer-age-ms MS]"
+         [--buffer-rows N] [--buffer-age-ms MS] [--workers N] [--max-conns N]"
     );
     std::process::exit(2);
 }
@@ -36,6 +42,7 @@ fn main() {
     let mut port_file: Option<String> = None;
     let mut buffer_rows = 1usize;
     let mut buffer_age_ms = 200u64;
+    let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -54,6 +61,10 @@ fn main() {
             "--buffer-age-ms" => {
                 buffer_age_ms = value("--buffer-age-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                config.max_connections = value("--max-conns").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -70,7 +81,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match Server::bind_with_policy(&addr, ledger, policy) {
+    let server = match Server::bind_with_config(&addr, ledger, policy, config.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("updp-serve: bind {addr}: {e}");
@@ -78,7 +89,10 @@ fn main() {
         }
     };
     let local = server.local_addr().expect("bound listener has an address");
-    println!("updp-serve listening on http://{local} (ledger: {ledger_path})");
+    println!(
+        "updp-serve listening on http://{local} (ledger: {ledger_path}, workers: {})",
+        config.resolved_workers()
+    );
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, format!("{}\n", local.port())) {
             eprintln!("updp-serve: write {path}: {e}");

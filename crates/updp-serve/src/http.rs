@@ -152,13 +152,10 @@ fn read_body(stream: &mut impl BufRead, len: usize) -> Result<Vec<u8>, HttpError
     Ok(body)
 }
 
-/// Reads one request. `Ok(None)` means the peer closed the idle
-/// connection cleanly (normal end of a keep-alive session).
-pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let mut budget = MAX_HEAD_BYTES;
-    let Some(request_line) = read_line(stream, &mut budget, true)? else {
-        return Ok(None);
-    };
+/// Parses the request line into `(METHOD, path)`, validating the
+/// HTTP/1.x version tag. Shared by the blocking reader and the
+/// incremental [`RequestParser`].
+fn parse_request_line(request_line: &str) -> Result<(String, String), HttpError> {
     let mut parts = request_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m.to_uppercase(), p.to_string(), v),
@@ -171,6 +168,63 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("bad version `{version}`")));
     }
+    Ok((method, path))
+}
+
+/// Applies one header line to the framing state. Shared by the
+/// blocking reader and the incremental [`RequestParser`] so both
+/// enforce the same smuggling refusals.
+fn apply_header(
+    line: &str,
+    content_length: &mut Option<usize>,
+    keep_alive: &mut bool,
+) -> Result<(), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed(format!("bad header `{line}`")));
+    };
+    let value = value.trim();
+    match name.to_ascii_lowercase().as_str() {
+        // Repeated Content-Length headers are the classic
+        // request-smuggling vector behind a proxy that picks a
+        // different occurrence than we do (same class as the
+        // Transfer-Encoding refusal below). Refuse loudly — even
+        // when the repeated values agree, there is no legitimate
+        // reason for a client to send two.
+        "content-length" => {
+            if content_length.is_some() {
+                return Err(HttpError::Malformed(
+                    "duplicate content-length header".into(),
+                ));
+            }
+            *content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?,
+            );
+        }
+        "connection" => *keep_alive = !value.eq_ignore_ascii_case("close"),
+        // Chunked framing is not implemented; silently ignoring it
+        // would desync the keep-alive stream (and differing
+        // framing interpretations behind a proxy are a smuggling
+        // vector), so refuse loudly.
+        "transfer-encoding" => {
+            return Err(HttpError::Malformed(
+                "transfer-encoding is not supported; send Content-Length".into(),
+            ))
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the idle
+/// connection cleanly (normal end of a keep-alive session).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(stream, &mut budget, true)? else {
+        return Ok(None);
+    };
+    let (method, path) = parse_request_line(&request_line)?;
     let mut content_length: Option<usize> = None;
     let mut keep_alive = true; // HTTP/1.1 default
     loop {
@@ -179,40 +233,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         if line.is_empty() {
             break;
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header `{line}`")));
-        };
-        let value = value.trim();
-        match name.to_ascii_lowercase().as_str() {
-            // Repeated Content-Length headers are the classic
-            // request-smuggling vector behind a proxy that picks a
-            // different occurrence than we do (same class as the
-            // Transfer-Encoding refusal below). Refuse loudly — even
-            // when the repeated values agree, there is no legitimate
-            // reason for a client to send two.
-            "content-length" => {
-                if content_length.is_some() {
-                    return Err(HttpError::Malformed(
-                        "duplicate content-length header".into(),
-                    ));
-                }
-                content_length =
-                    Some(value.parse().map_err(|_| {
-                        HttpError::Malformed(format!("bad content-length `{value}`"))
-                    })?);
-            }
-            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-            // Chunked framing is not implemented; silently ignoring it
-            // would desync the keep-alive stream (and differing
-            // framing interpretations behind a proxy are a smuggling
-            // vector), so refuse loudly.
-            "transfer-encoding" => {
-                return Err(HttpError::Malformed(
-                    "transfer-encoding is not supported; send Content-Length".into(),
-                ))
-            }
-            _ => {}
-        }
+        apply_header(&line, &mut content_length, &mut keep_alive)?;
     }
     let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
@@ -229,6 +250,133 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     }))
 }
 
+/// A parsed-but-bodiless head: the framing state the incremental
+/// parser carries while body bytes stream in.
+#[derive(Debug)]
+struct PendingBody {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Incremental request parser for non-blocking transports: feed it
+/// whatever bytes the socket yields — split at **any** byte boundary,
+/// including mid-request-line, mid-header, or mid-body — and it
+/// returns each request exactly once, as soon as its last byte
+/// arrives. The framing rules (head/body caps, duplicate
+/// Content-Length and Transfer-Encoding refusals, keep-alive
+/// semantics) are shared with the blocking [`read_request`], so the
+/// reactor and the legacy codec cannot drift apart.
+///
+/// Errors are sticky in practice: the caller must stop feeding a
+/// parser that returned `Err` (the stream is desynchronized; the
+/// connection should answer 400 and close).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// A fresh parser (one per connection).
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// True when no partial request is buffered — EOF here is a clean
+    /// keep-alive close rather than a truncated request.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && self.pending.is_none()
+    }
+
+    /// Consumes `chunk` and returns every request it completed (zero
+    /// or more — pipelined peers can complete several in one read).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<Request>, HttpError> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            if let Some(pending) = &self.pending {
+                if self.buf.len() < pending.content_length {
+                    break;
+                }
+                let pending = self.pending.take().expect("checked above");
+                let body: Vec<u8> = self.buf.drain(..pending.content_length).collect();
+                out.push(Request {
+                    method: pending.method,
+                    path: pending.path,
+                    body,
+                    keep_alive: pending.keep_alive,
+                });
+                continue;
+            }
+            let Some(head_len) = find_head_end(&self.buf) else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::Malformed("head too large".into()));
+                }
+                break;
+            };
+            if head_len > MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed("head too large".into()));
+            }
+            let pending = parse_head_block(&self.buf[..head_len])?;
+            if pending.content_length > MAX_BODY_BYTES {
+                return Err(HttpError::Malformed(format!(
+                    "body of {} bytes exceeds the {MAX_BODY_BYTES}-byte limit",
+                    pending.content_length
+                )));
+            }
+            self.buf.drain(..head_len);
+            self.pending = Some(pending);
+        }
+        Ok(out)
+    }
+}
+
+/// Byte length of the head (request line + headers + blank line) if
+/// the blank line has arrived, tolerating both `\r\n` and bare `\n`
+/// terminators like the blocking reader.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut pos = 0;
+    while let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') {
+        let end = pos + nl + 1;
+        let mut line = &buf[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.is_empty() {
+            return Some(end);
+        }
+        pos = end;
+    }
+    None
+}
+
+/// Parses a complete head block (including its terminating blank
+/// line) into the framing state.
+fn parse_head_block(head: &[u8]) -> Result<PendingBody, HttpError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF-8 head".into()))?;
+    let mut lines = text
+        .split('\n')
+        .map(|line| line.strip_suffix('\r').unwrap_or(line));
+    let (method, path) = parse_request_line(lines.next().unwrap_or(""))?;
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        apply_header(line, &mut content_length, &mut keep_alive)?;
+    }
+    Ok(PendingBody {
+        method,
+        path,
+        keep_alive,
+        content_length: content_length.unwrap_or(0),
+    })
+}
+
 /// Reason phrases for the statuses the server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -239,8 +387,25 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Renders one JSON response into bytes (the reactor enqueues these
+/// on its per-connection write queues; the blocking path writes them
+/// straight to the socket).
+pub fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body.as_bytes());
+    wire
 }
 
 /// Writes one JSON response.
@@ -250,14 +415,7 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&encode_response(status, body, keep_alive))?;
     stream.flush()
 }
 
@@ -485,5 +643,131 @@ mod tests {
             "/v1/shutdown"
         );
         assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    /// The slow-loris shape without any wall clock: every possible
+    /// short-read split point over a request stream must yield the
+    /// exact same requests as one contiguous read. This is the
+    /// deterministic stand-in for EAGAIN-at-every-byte on a
+    /// non-blocking socket.
+    #[test]
+    fn incremental_parser_tolerates_splits_at_every_byte_boundary() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/v1/query",
+            "{\"dataset\":\"d\",\"seed\":7}",
+        )
+        .unwrap();
+        write_request(&mut wire, "GET", "/v1/healthz", "").unwrap();
+        let mut whole = RequestParser::new();
+        let expected = whole.feed(&wire).unwrap();
+        assert_eq!(expected.len(), 2);
+        assert!(whole.is_idle());
+
+        for split in 0..=wire.len() {
+            let mut parser = RequestParser::new();
+            let mut got = parser.feed(&wire[..split]).unwrap();
+            got.extend(parser.feed(&wire[split..]).unwrap());
+            assert_eq!(got, expected, "split at byte {split} changed the parse");
+            assert!(parser.is_idle(), "split at byte {split} left residue");
+        }
+    }
+
+    /// One-byte-at-a-time feeding (the most adversarial split
+    /// schedule) still produces each request exactly once, exactly
+    /// when its final byte arrives.
+    #[test]
+    fn incremental_parser_handles_byte_at_a_time_feeding() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/v1/append",
+            "{\"name\":\"d\",\"data\":[1,2]}",
+        )
+        .unwrap();
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        for (i, byte) in wire.iter().enumerate() {
+            let completed = parser.feed(std::slice::from_ref(byte)).unwrap();
+            if !completed.is_empty() {
+                assert_eq!(i, wire.len() - 1, "request completed before its last byte");
+            }
+            got.extend(completed);
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].path, "/v1/append");
+        assert_eq!(got[0].body, b"{\"name\":\"d\",\"data\":[1,2]}");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_returns_pipelined_requests_in_order() {
+        let mut wire = Vec::new();
+        for i in 0..5 {
+            write_request(&mut wire, "POST", &format!("/v1/q{i}"), "{}").unwrap();
+        }
+        let mut parser = RequestParser::new();
+        let got = parser.feed(&wire).unwrap();
+        let paths: Vec<&str> = got.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["/v1/q0", "/v1/q1", "/v1/q2", "/v1/q3", "/v1/q4"]);
+    }
+
+    /// The incremental parser enforces the same refusals, with the
+    /// same error text, as the blocking reader.
+    #[test]
+    fn incremental_parser_matches_blocking_reader_refusals() {
+        for wire in [
+            "NOT-HTTP\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            let blocking = read_request(&mut BufReader::new(wire.as_bytes()));
+            let incremental = RequestParser::new().feed(wire.as_bytes());
+            match (blocking, incremental) {
+                (Err(HttpError::Malformed(a)), Err(HttpError::Malformed(b))) => {
+                    assert_eq!(a, b, "error text diverged for {wire:?}")
+                }
+                other => panic!("expected matching Malformed errors for {wire:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_caps_head_and_body_sizes() {
+        // A head that never terminates is refused once it exceeds the
+        // budget — a slow-loris peer cannot grow the buffer forever.
+        let mut parser = RequestParser::new();
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 2];
+        assert!(matches!(
+            parser.feed(&filler),
+            Err(HttpError::Malformed(reason)) if reason == "head too large"
+        ));
+        // An oversized declared body is refused at head-parse time,
+        // before any body bytes arrive or allocate.
+        let mut parser = RequestParser::new();
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parser.feed(wire.as_bytes()),
+            Err(HttpError::Malformed(reason)) if reason.contains("exceeds")
+        ));
+    }
+
+    #[test]
+    fn encode_response_matches_write_response() {
+        let mut written = Vec::new();
+        write_response(&mut written, 503, "{\"code\":\"overloaded\"}", false).unwrap();
+        assert_eq!(
+            written,
+            encode_response(503, "{\"code\":\"overloaded\"}", false)
+        );
+        let text = String::from_utf8(written).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
     }
 }

@@ -23,22 +23,34 @@
 //!   wire), executed concurrently through `updp_core::parallel` with
 //!   the §1.1 child-seed scheme (bit-reproducible given the request
 //!   seed), with the hardened snapping release mode on by default;
-//! * [`http`] / [`wire`] — the first-party HTTP codec and the JSON
-//!   wire schema (shared `updp_core::json` implementation);
-//! * [`server`] / [`client`] — the serving loop and the blocking
-//!   client used by `serve-client`, `loadgen`, and the e2e tests;
+//! * [`http`] / [`wire`] — the first-party HTTP codec (blocking and
+//!   incremental parsers sharing one set of framing rules) and the
+//!   JSON wire schema (shared `updp_core::json` implementation);
+//! * [`server`] / [`poll`] — routing plus the sharded epoll reactor
+//!   (DESIGN.md §10): `--workers` event-loop shards over non-blocking
+//!   sockets, bounded write queues with structured 503 backpressure,
+//!   and event-driven shutdown; [`poll`] is the one audited unsafe
+//!   module (the raw epoll syscall shim);
+//! * [`client`] — the blocking client used by `serve-client`,
+//!   `loadgen`, and the e2e tests;
 //! * [`report`] — the `BENCH_serve.json` load-test report schema.
 //!
 //! Binaries: `updp-serve` (the server), `serve-client` (scripted
 //! queries), `loadgen` (throughput/latency measurement).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one audited exception is the epoll
+// syscall shim ([`poll`]), which opts back in at module level with
+// `// SAFETY:` comments on every unsafe block (updp-lint R4 enforces
+// the comments). Everything else in the crate still refuses unsafe.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod engine;
 pub mod http;
 pub mod ledger;
+pub mod poll;
+pub(crate) mod reactor;
 pub mod registry;
 pub mod report;
 pub mod server;
@@ -47,4 +59,4 @@ pub mod wire;
 pub use engine::{EstimatorCatalog, QueryOutcome, QuerySpec, ReleaseMode};
 pub use ledger::Ledger;
 pub use registry::{FlushPolicy, Registry};
-pub use server::Server;
+pub use server::{Server, ServerConfig};

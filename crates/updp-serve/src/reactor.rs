@@ -1,0 +1,521 @@
+//! The event-driven server core: a sharded epoll reactor.
+//!
+//! Replaces the thread-per-connection loop for the serving path.
+//! `--workers N` threads (default: available parallelism) each own an
+//! epoll instance; every worker registers the shared listener
+//! (`EPOLLEXCLUSIVE` where the kernel supports it, so one accept
+//! readiness wakes one shard instead of all of them) plus a wake pipe
+//! for event-driven shutdown — no polling timeouts on the hot path.
+//!
+//! Per connection the worker keeps a non-blocking socket, an
+//! incremental [`RequestParser`] (so requests split at any byte
+//! boundary by the kernel reassemble correctly), and a bounded write
+//! queue. The backpressure contract (DESIGN.md §10):
+//!
+//! * **write-queue cap** — if a peer stops reading responses while
+//!   pipelining requests, the queue exceeds its bound and the next
+//!   request is answered with a structured 503 `overloaded`, then the
+//!   connection is flushed and torn down. The worker never blocks on
+//!   a slow peer.
+//! * **connection cap** — beyond `max_connections` the listener still
+//!   accepts (so the peer gets an answer instead of a SYN backlog
+//!   timeout) but the connection is born with a pre-queued 503 and
+//!   closes once it flushes.
+//! * **panic isolation** — `route` runs under `catch_unwind`; a
+//!   panicking handler costs that request a 500 and its connection,
+//!   never the worker or its other connections.
+//!
+//! Determinism is unaffected: the reactor only reorders *transport*
+//! work. Each request is still routed exactly once with its own seed,
+//! and ledger ordering keeps the same per-request atomicity it had
+//! under thread-per-connection (DESIGN.md §10).
+
+use crate::http::{encode_response, HttpError, Request, RequestParser};
+use crate::poll::{self, Epoll, Events, WakePipe};
+use crate::server::{route, AppState, ServerConfig};
+use crate::wire;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Slab token of the wake pipe.
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Slab token of the shared listener.
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+/// Events delivered per `epoll_wait` call.
+const EVENTS_CAP: usize = 1024;
+/// Read chunk size (one scratch buffer per worker, reused).
+const READ_CHUNK: usize = 64 * 1024;
+/// Max socket reads per connection per readiness event: level-
+/// triggered epoll re-delivers, so capping keeps one firehose peer
+/// from starving the rest of the shard.
+const MAX_READS_PER_TICK: usize = 16;
+/// How long drain mode waits for queued responses to flush before
+/// force-closing (shutdown must not hang on a stalled peer).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+/// Epoll timeout while draining, so the deadline is observed even
+/// with no socket activity.
+const DRAIN_TICK_MS: i32 = 25;
+
+/// State shared by every worker shard.
+struct Shared {
+    state: Arc<AppState>,
+    /// Live connections across all shards (the accept-then-503 cap).
+    conns: AtomicUsize,
+    /// One wake handle per worker; shutdown wakes every shard.
+    wakes: Vec<poll::WakeHandle>,
+}
+
+/// One connection owned by one worker shard.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Pending response bytes; `sent` is the flush cursor.
+    out: Vec<u8>,
+    sent: usize,
+    /// No more requests will be read; close once `out` drains.
+    closing: bool,
+    /// The interest set currently registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            sent: 0,
+            closing: false,
+            interest: 0,
+        }
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    fn queued(&self) -> usize {
+        self.out.len() - self.sent
+    }
+
+    fn enqueue(&mut self, status: u16, body: &str, keep_alive: bool) {
+        self.out
+            .extend_from_slice(&encode_response(status, body, keep_alive));
+        if !keep_alive {
+            self.closing = true;
+        }
+    }
+
+    fn desired_interest(&self) -> u32 {
+        // Read interest stays on even while closing: a lingering
+        // close sinks whatever the peer already sent, so the final
+        // response (503/400/shutdown) is never destroyed by the RST
+        // that closing a socket with unread receive data triggers.
+        let mut interest = poll::IN | poll::RDHUP;
+        if self.queued() > 0 {
+            interest |= poll::OUT;
+        }
+        interest
+    }
+}
+
+/// Runs the reactor until shutdown completes. Consumes the listener;
+/// returns when every shard has drained.
+pub(crate) fn run(
+    listener: TcpListener,
+    state: Arc<AppState>,
+    config: ServerConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let workers = config.resolved_workers();
+    let mut pipes = Vec::with_capacity(workers);
+    let mut wakes = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let pipe = WakePipe::new()?;
+        wakes.push(pipe.handle()?);
+        pipes.push(pipe);
+    }
+    let shared = Shared {
+        state,
+        conns: AtomicUsize::new(0),
+        wakes,
+    };
+    let shared = &shared;
+    let config = &config;
+    std::thread::scope(|scope| {
+        let mut pipes = pipes.into_iter();
+        let first = match pipes.next() {
+            Some(pipe) => pipe,
+            None => WakePipe::new()?, // unreachable: workers >= 1
+        };
+        for pipe in pipes {
+            let listener = listener.try_clone()?;
+            // Panics cannot escape a worker (route runs under
+            // catch_unwind); a worker exiting early only happens on
+            // catastrophic epoll failure, which worker 0 reports too.
+            scope.spawn(move || {
+                if let Ok(worker) = Worker::new(listener, pipe, shared, config) {
+                    let _ = worker.serve();
+                }
+            });
+        }
+        // Worker 0 runs on the calling thread; the scope joins the
+        // rest before returning.
+        Worker::new(listener, first, shared, config)?.serve()
+    })
+}
+
+/// One shard: an epoll instance plus the connections it owns.
+struct Worker<'a> {
+    epoll: Epoll,
+    listener: TcpListener,
+    pipe: WakePipe,
+    shared: &'a Shared,
+    config: &'a ServerConfig,
+    slab: Vec<Option<Conn>>,
+    /// Reusable slab indices.
+    free: Vec<usize>,
+    /// Indices freed during the current tick — merged into `free`
+    /// only after the event batch, so a stale event in the same batch
+    /// can never address a recycled slot.
+    freed: Vec<usize>,
+    scratch: Vec<u8>,
+    draining: bool,
+    deadline: Option<Instant>,
+    listener_active: bool,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        listener: TcpListener,
+        pipe: WakePipe,
+        shared: &'a Shared,
+        config: &'a ServerConfig,
+    ) -> io::Result<Worker<'a>> {
+        let epoll = Epoll::new()?;
+        epoll.add(pipe.raw_fd(), TOKEN_WAKE, poll::IN)?;
+        let lfd = listener.as_raw_fd();
+        // EPOLLEXCLUSIVE needs kernel ≥ 4.5; fall back to a plain add
+        // (herd wakeups, still correct) when it is refused.
+        if epoll
+            .add(lfd, TOKEN_LISTENER, poll::IN | poll::EXCLUSIVE)
+            .is_err()
+        {
+            epoll.add(lfd, TOKEN_LISTENER, poll::IN)?;
+        }
+        Ok(Worker {
+            epoll,
+            listener,
+            pipe,
+            shared,
+            config,
+            slab: Vec::new(),
+            free: Vec::new(),
+            freed: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            draining: false,
+            deadline: None,
+            listener_active: true,
+        })
+    }
+
+    fn serve(mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(EVENTS_CAP);
+        loop {
+            let timeout = if self.draining { DRAIN_TICK_MS } else { -1 };
+            let fired = self.epoll.wait(&mut events, timeout)?;
+            for i in 0..fired {
+                let event = events.get(i);
+                match event.token {
+                    TOKEN_WAKE => self.pipe.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token as usize, event),
+                }
+            }
+            if !self.draining && self.shared.state.shutdown_requested() {
+                self.enter_drain();
+            }
+            self.free.append(&mut self.freed);
+            if self.draining && self.drain_finished() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Accepts until the backlog is empty. Beyond the connection cap,
+    /// connections are still accepted but born closing with a
+    /// pre-queued 503 (accept-then-503: the peer gets a structured
+    /// answer instead of a connect timeout).
+    fn accept_ready(&mut self) {
+        while self.listener_active {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient (ECONNABORTED & friends): the next
+                // readiness event retries.
+                Err(_) => return,
+            };
+            // Head + body responses without NODELAY hit Nagle/
+            // delayed-ACK stalls (~40 ms) on loopback.
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if let Some(bytes) = self.config.send_buffer {
+                let _ = poll::set_send_buffer(stream.as_raw_fd(), bytes);
+            }
+            let over_cap =
+                self.shared.conns.fetch_add(1, Ordering::SeqCst) >= self.config.max_connections;
+            let mut conn = Conn::new(stream);
+            if over_cap {
+                conn.enqueue(
+                    503,
+                    &wire::error_body("overloaded", "connection limit reached"),
+                    false,
+                );
+            }
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slab.push(None);
+                    self.slab.len() - 1
+                }
+            };
+            let interest = conn.desired_interest();
+            match self
+                .epoll
+                .add(conn.stream.as_raw_fd(), idx as u64, interest)
+            {
+                Ok(()) => {
+                    conn.interest = interest;
+                    self.slab[idx] = Some(conn);
+                }
+                Err(_) => self.discard(idx, conn),
+            }
+        }
+    }
+
+    /// Handles readiness on connection `idx`. Stale tokens (the
+    /// connection closed earlier in this batch) are ignored.
+    fn conn_ready(&mut self, idx: usize, event: poll::Event) {
+        let Some(mut conn) = self.slab.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let mut dead = event.failed;
+        if !dead && event.writable {
+            dead = flush_out(&mut conn);
+        }
+        if !dead && event.readable {
+            dead = if conn.closing {
+                // Lingering close: discard peer bytes so the close
+                // (once `out` drains) sends FIN, not an RST that
+                // would destroy the final response in flight.
+                sink(&mut conn, &mut self.scratch)
+            } else {
+                read_and_dispatch(&mut conn, &mut self.scratch, self.shared, self.config)
+            };
+            if !dead {
+                dead = flush_out(&mut conn);
+            }
+        }
+        self.park(idx, conn, dead);
+    }
+
+    /// Re-files `conn` into slot `idx` with its epoll interest up to
+    /// date — or tears it down when it is dead or finished.
+    fn park(&mut self, idx: usize, mut conn: Conn, dead: bool) {
+        if dead || (conn.closing && conn.queued() == 0) {
+            self.discard(idx, conn);
+            return;
+        }
+        let desired = conn.desired_interest();
+        if desired != conn.interest {
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), idx as u64, desired)
+                .is_err()
+            {
+                self.discard(idx, conn);
+                return;
+            }
+            conn.interest = desired;
+        }
+        self.slab[idx] = Some(conn);
+    }
+
+    /// Drops the connection (closing the fd deregisters it) and
+    /// releases its slot and global count.
+    fn discard(&mut self, idx: usize, conn: Conn) {
+        drop(conn);
+        self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+        self.freed.push(idx);
+    }
+
+    /// Shutdown observed: stop accepting, mark every connection
+    /// closing (idle ones close now; ones with queued responses flush
+    /// first), and start the drain deadline.
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        self.deadline = Some(Instant::now() + DRAIN_DEADLINE);
+        if self.listener_active {
+            let _ = self.epoll.delete(self.listener.as_raw_fd());
+            self.listener_active = false;
+        }
+        for idx in 0..self.slab.len() {
+            let Some(mut conn) = self.slab[idx].take() else {
+                continue;
+            };
+            conn.closing = true;
+            self.park(idx, conn, false);
+        }
+    }
+
+    /// True when nothing is left to flush (or the deadline passed, in
+    /// which case the stragglers are force-closed).
+    fn drain_finished(&mut self) -> bool {
+        if self.slab.iter().all(Option::is_none) {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            for idx in 0..self.slab.len() {
+                if let Some(conn) = self.slab[idx].take() {
+                    self.discard(idx, conn);
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Writes queued bytes until done or the kernel pushes back. Returns
+/// true when the connection is dead.
+fn flush_out(conn: &mut Conn) -> bool {
+    while conn.sent < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.sent..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.sent += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reclaim the flushed prefix so a long-lived slow
+                // reader cannot grow the buffer unboundedly behind
+                // the cursor.
+                if conn.sent > READ_CHUNK {
+                    conn.out.drain(..conn.sent);
+                    conn.sent = 0;
+                }
+                return false;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    conn.out.clear();
+    conn.sent = 0;
+    false
+}
+
+/// Lingering-close read: consumes and discards peer bytes on a
+/// connection that is already closing. Returns true when the
+/// connection is dead.
+fn sink(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    for _ in 0..MAX_READS_PER_TICK {
+        match conn.stream.read(scratch) {
+            Ok(0) => return false, // peer finished sending
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+/// Reads whatever the socket has (up to the fairness cap), feeds the
+/// incremental parser, and routes every completed request. Returns
+/// true when the connection is dead.
+fn read_and_dispatch(
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    shared: &Shared,
+    config: &ServerConfig,
+) -> bool {
+    for _ in 0..MAX_READS_PER_TICK {
+        let n = match conn.stream.read(scratch) {
+            // EOF. A half-closed peer may still read; flush whatever
+            // is queued, then close. An unfinished request in the
+            // parser is simply truncated — there is no one to answer.
+            Ok(0) => {
+                conn.closing = true;
+                return false;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        };
+        let requests = match conn.parser.feed(&scratch[..n]) {
+            Ok(requests) => requests,
+            Err(HttpError::Malformed(reason)) => {
+                conn.enqueue(400, &wire::error_body("bad_request", &reason), false);
+                return false;
+            }
+            Err(_) => return true,
+        };
+        for request in &requests {
+            dispatch(conn, request, shared, config);
+            if conn.closing {
+                // A close-after-this response (shutdown, parse-error,
+                // backpressure, Connection: close) ends the session;
+                // later pipelined requests are not serviced.
+                return false;
+            }
+        }
+        if n < scratch.len() {
+            // Short read: the socket is drained for now.
+            return false;
+        }
+    }
+    // Fairness cap hit; level-triggered epoll re-delivers readiness.
+    false
+}
+
+/// Routes one request and enqueues its response, applying the
+/// backpressure and panic-isolation contracts.
+fn dispatch(conn: &mut Conn, request: &Request, shared: &Shared, config: &ServerConfig) {
+    // Backpressure: a peer that pipelines requests without reading
+    // responses gets a final structured 503, then teardown. Checked
+    // per request so the queue is bounded by the cap plus one
+    // response.
+    if conn.queued() > config.max_write_queue {
+        conn.enqueue(
+            503,
+            &wire::error_body(
+                "overloaded",
+                "write queue full: peer is not reading responses",
+            ),
+            false,
+        );
+        return;
+    }
+    let is_shutdown = request.method == "POST" && request.path == "/v1/shutdown";
+    let routed = catch_unwind(AssertUnwindSafe(|| route(&shared.state, request)));
+    match routed {
+        Ok((status, body)) => conn.enqueue(status, &body, request.keep_alive && !is_shutdown),
+        // The handler panicked: this request answers 500 and loses
+        // its connection; the worker and its other connections are
+        // untouched.
+        Err(_) => conn.enqueue(
+            500,
+            &wire::error_body("internal", "handler panicked"),
+            false,
+        ),
+    }
+    if is_shutdown {
+        shared.state.begin_shutdown();
+        for wake in &shared.wakes {
+            wake.wake();
+        }
+    }
+}

@@ -5,14 +5,31 @@
 
 use updp_core::json::JsonValue;
 
-/// The current schema tag.
-pub const SCHEMA: &str = "updp-serve-loadgen/v3";
+/// The current schema tag. v4 added host metadata (`host_kernel`,
+/// `host_arch`) alongside `host_threads`, and the reactor-era
+/// high-connection-count sweep rows (64/256/1024) in the batch
+/// workload.
+pub const SCHEMA: &str = "updp-serve-loadgen/v4";
 
 /// The previous schema tag. v3 added the streaming workload rows and
-/// the top-level `streaming_ratio` field; a committed v2 report still
-/// parses (the field defaults to empty), so old baselines remain
-/// readable.
+/// the top-level `streaming_ratio` field; a committed v3 report still
+/// parses (the v4 host metadata defaults to empty), so old baselines
+/// remain readable.
+pub const SCHEMA_V3: &str = "updp-serve-loadgen/v3";
+
+/// Two schemas back. A committed v2 report (no `streaming_ratio`, no
+/// streaming rows, no host metadata) still parses too.
 pub const SCHEMA_V2: &str = "updp-serve-loadgen/v2";
+
+/// Host metadata for the report: `(kernel release, architecture)`.
+/// Reports carry it so a baseline regenerated on different hardware
+/// is distinguishable after the fact.
+pub fn host_meta() -> (String, String) {
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    (kernel, std::env::consts::ARCH.to_string())
+}
 
 /// One measured load level.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +68,12 @@ pub struct ServeReport {
     pub schema: String,
     /// `available_parallelism()` on the measuring host.
     pub host_threads: usize,
+    /// Kernel release of the measuring host (empty when parsed from a
+    /// pre-v4 report or when unavailable).
+    pub host_kernel: String,
+    /// CPU architecture of the measuring host (empty when parsed from
+    /// a pre-v4 report).
+    pub host_arch: String,
     /// Records per request-target dataset (batch workload).
     pub dataset_records: usize,
     /// Records per dataset in the repeat-quantile workloads.
@@ -86,6 +109,8 @@ impl ServeReport {
         let mut out = JsonValue::object(vec![
             ("schema", self.schema.as_str().into()),
             ("host_threads", self.host_threads.into()),
+            ("host_kernel", self.host_kernel.as_str().into()),
+            ("host_arch", self.host_arch.as_str().into()),
             ("dataset_records", self.dataset_records.into()),
             ("quantile_records", self.quantile_records.into()),
             ("streaming_ratio", self.streaming_ratio.as_str().into()),
@@ -98,21 +123,27 @@ impl ServeReport {
     }
 
     /// Parses a report previously produced by [`ServeReport::to_json`]
-    /// — the current v3 layout or a committed v2 one (which simply
-    /// lacks the `streaming_ratio` field and the streaming rows).
+    /// — the current v4 layout or a committed v3/v2 one (v3 lacks the
+    /// host metadata; v2 additionally lacks `streaming_ratio` and the
+    /// streaming rows). Missing legacy fields default to empty.
     pub fn from_json(input: &str) -> Result<Self, String> {
         let doc = JsonValue::parse(input)?;
         let obj = doc.as_object("top level")?;
         let schema = obj.get_str("schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V2 {
+        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
             return Err(format!(
-                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V2}`)"
+                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V3}`/`{SCHEMA_V2}`)"
             ));
         }
         let streaming_ratio = if schema == SCHEMA_V2 {
             String::new()
         } else {
             obj.get_str("streaming_ratio")?
+        };
+        let (host_kernel, host_arch) = if schema == SCHEMA {
+            (obj.get_str("host_kernel")?, obj.get_str("host_arch")?)
+        } else {
+            (String::new(), String::new())
         };
         let runs = obj
             .get_array("runs")?
@@ -133,6 +164,8 @@ impl ServeReport {
         Ok(ServeReport {
             schema,
             host_threads: obj.get_usize("host_threads")?,
+            host_kernel,
+            host_arch,
             dataset_records: obj.get_usize("dataset_records")?,
             quantile_records: obj.get_usize("quantile_records")?,
             streaming_ratio,
@@ -162,6 +195,8 @@ mod tests {
         ServeReport {
             schema: SCHEMA.into(),
             host_threads: 4,
+            host_kernel: "6.1.0-test".into(),
+            host_arch: "x86_64".into(),
             dataset_records: 10_000,
             quantile_records: 100_000,
             streaming_ratio: "1:1".into(),
@@ -204,6 +239,44 @@ mod tests {
         assert!(ServeReport::from_json("{\"schema\": \"updp-bench-baseline/v1\"}").is_err());
         let json = sample().to_json();
         assert!(ServeReport::from_json(&json[..json.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn committed_v3_layout_still_parses() {
+        // The exact shape of the BENCH_serve.json committed before
+        // the v4 bump: no `host_kernel`/`host_arch`. Old baselines
+        // must stay readable.
+        let v3 = r#"{
+  "schema": "updp-serve-loadgen/v3",
+  "host_threads": 1,
+  "dataset_records": 10000,
+  "quantile_records": 100000,
+  "streaming_ratio": "1:1",
+  "runs": [
+    {
+      "workload": "batch",
+      "connections": 1,
+      "requests": 500,
+      "wall_ms": 319.2396,
+      "rps": 1566.2217343963594,
+      "p50_ms": 0.6157670000000001,
+      "p99_ms": 0.9463959999999999
+    }
+  ],
+  "note": "hardened batch (mean + p90 + iqr) per request"
+}
+"#;
+        let report = ServeReport::from_json(v3).unwrap();
+        assert_eq!(report.schema, SCHEMA_V3);
+        assert_eq!(report.host_kernel, "");
+        assert_eq!(report.host_arch, "");
+        assert_eq!(report.streaming_ratio, "1:1");
+        assert_eq!(report.runs[0].p50_ms, 0.6157670000000001);
+        // Re-rendering writes the current layout, which round-trips.
+        let mut upgraded = report.clone();
+        upgraded.schema = SCHEMA.into();
+        let json = upgraded.to_json();
+        assert_eq!(ServeReport::from_json(&json).unwrap(), upgraded);
     }
 
     #[test]

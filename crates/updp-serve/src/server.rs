@@ -1,11 +1,10 @@
-//! The long-lived serving process: TCP accept loop, routing, and the
-//! registry/ledger/engine wiring.
-//!
-//! One OS thread per connection (connections are long-lived and
-//! keep-alive; the per-request work is estimator-bound, not
-//! connection-bound), with all shared state behind the
-//! registry/ledger synchronization described in their modules. The
-//! HTTP surface:
+//! The long-lived serving process: routing and the
+//! registry/ledger/engine wiring, served by the sharded epoll
+//! reactor in [`crate::reactor`] (DESIGN.md §10) — a fixed worker
+//! pool of event loops over non-blocking sockets, with bounded
+//! per-connection write queues and event-driven shutdown. All shared
+//! state sits behind the registry/ledger synchronization described
+//! in their modules. The HTTP surface:
 //!
 //! | Route | Body | Effect |
 //! |---|---|---|
@@ -20,15 +19,59 @@
 //! | `POST /v1/shutdown` | — | graceful stop |
 
 use crate::engine::{execute_batch, EngineError, EstimatorCatalog, QueryOutcome, ReleaseMode};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::Request;
 use crate::ledger::{Ledger, LedgerError};
 use crate::registry::{FlushPolicy, Registry, RegistryError};
-use crate::wire;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::{reactor, wire};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use updp_core::json::JsonValue;
+
+/// Transport knobs for the reactor (DESIGN.md §10). The defaults are
+/// the production configuration; tests tighten them to make the
+/// backpressure paths deterministic.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reactor worker shards; `0` means available parallelism.
+    pub workers: usize,
+    /// Live-connection cap across all shards. Connections beyond it
+    /// are accepted, answered with a structured 503 `overloaded`, and
+    /// closed (accept-then-503 — the peer gets an answer instead of
+    /// a SYN-backlog timeout).
+    pub max_connections: usize,
+    /// Per-connection write-queue bound in bytes. A peer that
+    /// pipelines requests without reading responses gets a final 503
+    /// `overloaded` and teardown once this many bytes are queued.
+    pub max_write_queue: usize,
+    /// Optional `SO_SNDBUF` clamp per connection: bounds kernel-side
+    /// buffering at high connection counts and makes the write-queue
+    /// backpressure observable with small deterministic buffers.
+    pub send_buffer: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            max_connections: 4096,
+            max_write_queue: 256 * 1024,
+            send_buffer: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// `workers` with `0` resolved to available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
 
 /// Shared server state.
 pub struct AppState {
@@ -39,12 +82,28 @@ pub struct AppState {
     /// The name-keyed estimator catalog (universal + baselines).
     pub estimators: EstimatorCatalog,
     shutdown: AtomicBool,
+    /// Test-only hook: arms the panicking `/v1/test/panic` route used
+    /// to prove reactor panic isolation. Never set in production.
+    panic_route: AtomicBool,
+}
+
+impl AppState {
+    /// True once a `POST /v1/shutdown` has been served.
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag (the reactor then wakes every shard).
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
 }
 
 /// A bound-but-not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -63,6 +122,17 @@ impl Server {
         ledger: Ledger,
         policy: FlushPolicy,
     ) -> std::io::Result<Server> {
+        Server::bind_with_config(addr, ledger, policy, ServerConfig::default())
+    }
+
+    /// Binds with explicit transport knobs ([`ServerConfig`]) on top
+    /// of the flush policy.
+    pub fn bind_with_config(
+        addr: &str,
+        ledger: Ledger,
+        policy: FlushPolicy,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(AppState {
@@ -70,7 +140,9 @@ impl Server {
                 ledger,
                 estimators: EstimatorCatalog::standard(),
                 shutdown: AtomicBool::new(false),
+                panic_route: AtomicBool::new(false),
             }),
+            config,
         })
     }
 
@@ -79,90 +151,20 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until a `POST /v1/shutdown` arrives, then joins every
-    /// in-flight connection before returning.
+    /// Arms the `POST /v1/test/panic` route, which panics inside the
+    /// handler. Exists so tests can prove the reactor survives a
+    /// poisoned handler; hidden because production servers must never
+    /// enable it.
+    #[doc(hidden)]
+    pub fn enable_test_panic_route(&self) {
+        self.state.panic_route.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves on the epoll reactor until a `POST /v1/shutdown`
+    /// arrives, then drains every in-flight connection before
+    /// returning.
     pub fn run(self) -> std::io::Result<()> {
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // Responses are written as head + body; without NODELAY
-            // that pattern hits Nagle/delayed-ACK stalls (~40 ms per
-            // response on loopback).
-            let _ = stream.set_nodelay(true);
-            // Idle connections wake every 500 ms to poll the shutdown
-            // flag (HttpError::IdleTimeout), so a lingering keep-alive
-            // client cannot block the post-shutdown join.
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
-            let state = Arc::clone(&self.state);
-            handles.retain(|h| !h.is_finished());
-            handles.push(std::thread::spawn(move || serve_connection(stream, &state)));
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-        }
-        for handle in handles {
-            let _ = handle.join();
-        }
-        Ok(())
-    }
-}
-
-/// Signals shutdown and wakes the blocked accept loop with a
-/// throwaway connection to ourselves.
-fn trigger_shutdown(state: &AppState, local: std::io::Result<SocketAddr>) {
-    state.shutdown.store(true, Ordering::SeqCst);
-    if let Ok(addr) = local {
-        let _ = TcpStream::connect(addr);
-    }
-}
-
-fn serve_connection(stream: TcpStream, state: &AppState) {
-    let peer_local = stream.local_addr();
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // peer closed an idle connection
-            Err(HttpError::IdleTimeout) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-            Err(HttpError::Malformed(reason)) => {
-                let _ = write_response(
-                    &mut writer,
-                    400,
-                    &wire::error_body("bad_request", &reason),
-                    false,
-                );
-                return;
-            }
-            Err(HttpError::Io(_)) => return,
-        };
-        let keep_alive = request.keep_alive;
-        let (status, body) = route(state, &request);
-        let is_shutdown = request.method == "POST" && request.path == "/v1/shutdown";
-        if write_response(&mut writer, status, &body, keep_alive && !is_shutdown).is_err() {
-            return;
-        }
-        if is_shutdown {
-            trigger_shutdown(state, peer_local);
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
+        reactor::run(self.listener, self.state, self.config)
     }
 }
 
@@ -198,13 +200,22 @@ fn ledger_error(e: &LedgerError) -> Response {
     }
 }
 
-fn route(state: &AppState, request: &Request) -> Response {
+/// Routes one request to its handler. Called by the reactor workers;
+/// panics escaping a handler are caught at the call site
+/// (`catch_unwind`), costing the request a 500 and its connection but
+/// never the worker.
+pub(crate) fn route(state: &AppState, request: &Request) -> Response {
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return error(400, "bad_request", "body is not UTF-8"),
     };
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => ok(JsonValue::object(vec![("ok", true.into())])),
+        // Test-only poison pill (see Server::enable_test_panic_route):
+        // unarmed servers fall through to the 404 arm below.
+        ("POST", "/v1/test/panic") if state.panic_route.load(Ordering::SeqCst) => {
+            panic!("test panic route")
+        }
         ("GET", "/v1/datasets") => list(state),
         ("GET", "/v1/estimators") => (200, wire::estimators_response(state.estimators.iter())),
         ("POST", "/v1/register") => register(state, body),
