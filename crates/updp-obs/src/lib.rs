@@ -1,0 +1,38 @@
+//! First-party observability for the workspace: metrics primitives, a
+//! Prometheus/JSON registry, and bounded request-trace rings.
+//!
+//! # Design constraints
+//!
+//! The serving stack (DESIGN.md §10/§11) has a hard determinism
+//! contract: released bytes must be a pure function of
+//! `(snapshot version, estimator, params, seed)`. Observability must
+//! therefore be strictly *observe-only* — nothing recorded here may
+//! ever feed back into request handling. This crate enforces its half
+//! of that contract structurally:
+//!
+//! - **Clock-free.** No `Instant`, no `SystemTime` anywhere in this
+//!   crate. Durations and timestamps arrive as plain `u64`
+//!   microseconds/milliseconds measured by the caller (transport code
+//!   that already lives outside the R1 ambient-authority lint scope).
+//!   `updp-obs` only aggregates values it is handed.
+//! - **Non-throwing.** Recording never panics and never returns
+//!   errors; a poisoned lock degrades to dropping the observation
+//!   rather than taking the request path down.
+//! - **Deterministic rendering.** Histogram bucket boundaries are
+//!   fixed powers of two, label sets render in sorted (BTreeMap)
+//!   order, and families render in registration order, so two
+//!   snapshots of equal state produce byte-equal exposition text.
+//!
+//! The crate is dependency-free except for `updp_core::json`, the
+//! workspace's single JSON codec, used for the `?format=json` render.
+
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{
+    bucket_index, upper_edge_micros, Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot,
+    BUCKETS,
+};
+pub use registry::{Family, Kind, Registry, ScrapedFamily};
+pub use trace::{TraceEvent, TraceRing};

@@ -1,0 +1,363 @@
+//! Lock-free metric primitives: striped counters, gauges with
+//! high-water tracking, float accumulators, and a fixed-boundary
+//! log₂-bucketed latency histogram with mergeable snapshots.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of stripes a [`Counter`] spreads its increments across.
+const STRIPES: usize = 8;
+
+/// Number of histogram buckets. Bucket `i < BUCKETS - 1` covers
+/// values `v` with `2^(i-1) < v <= 2^i` microseconds (bucket 0 covers
+/// `v <= 1`); the last bucket is the `+Inf` overflow.
+pub const BUCKETS: usize = 32;
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable stripe assignment round-robin, so
+    /// concurrent incrementers mostly touch distinct cache lines.
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// One cache line worth of counter so adjacent stripes don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, striped across cache lines so
+/// many threads can increment it without contending on one atomic.
+///
+/// Reads (`get`) sum the stripes; they are linearizable per stripe but
+/// the total is a relaxed snapshot, which is all a metric needs.
+#[derive(Default)]
+pub struct Counter {
+    stripes: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        STRIPE.with(|&s| self.stripes[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// The current total across all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed instantaneous value (e.g. active connections, high-water
+/// queue depth).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water marks).
+    pub fn observe_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing `f64` accumulator (e.g. total ε charged,
+/// total snapping inflation), implemented as a CAS loop over the bit
+/// pattern.
+#[derive(Default)]
+pub struct FloatCounter {
+    bits: AtomicU64,
+}
+
+impl FloatCounter {
+    /// A zeroed accumulator.
+    pub fn new() -> FloatCounter {
+        FloatCounter::default()
+    }
+
+    /// Adds `x` to the total.
+    pub fn add(&self, x: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + x).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current total.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The bucket index a microsecond value falls into: bucket `i` has
+/// upper edge `2^i` µs, and the last bucket absorbs everything larger.
+pub fn bucket_index(micros: u64) -> usize {
+    let bits = u64::BITS - micros.saturating_sub(1).leading_zeros();
+    (bits as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper edge of bucket `i` in microseconds, or `None`
+/// for the final `+Inf` bucket.
+pub fn upper_edge_micros(i: usize) -> Option<u64> {
+    if i + 1 < BUCKETS {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+/// A fixed-boundary log₂-bucketed latency histogram over microsecond
+/// observations.
+///
+/// Boundaries are powers of two from 1 µs to ~17.9 min, identical for
+/// every instance, so snapshots from different shards (or different
+/// processes) merge by element-wise addition and render with stable
+/// bucket edges.
+#[derive(Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, count) in counts.iter_mut().zip(&self.counts) {
+            *slot = count.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub counts: [u64; BUCKETS],
+    /// Sum of all observed values, in microseconds.
+    pub sum_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            sum_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum of two snapshots. Associative and commutative
+    /// with [`HistogramSnapshot::empty`] as identity, so per-shard
+    /// snapshots fold in any order to the same result.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_add(other.counts[i]);
+        }
+        HistogramSnapshot {
+            counts,
+            sum_micros: self.sum_micros.saturating_add(other.sum_micros),
+        }
+    }
+
+    /// The difference `self - earlier`, bucket-wise (for interval
+    /// measurements from two scrapes of a monotone histogram).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        HistogramSnapshot {
+            counts,
+            sum_micros: self.sum_micros.saturating_sub(earlier.sum_micros),
+        }
+    }
+
+    /// A deterministic upper-bound quantile in microseconds: the upper
+    /// edge of the bucket containing the nearest-rank observation.
+    /// Observations in the `+Inf` bucket report twice the last finite
+    /// edge (saturated). Returns `None` for an empty snapshot.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let clamped = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r with r >= q * total, at least 1.
+        let rank = ((clamped * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(upper_edge_micros(i).unwrap_or(2u64 << (BUCKETS - 2)));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_deterministic_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every value lands in the bucket whose edge bounds it.
+        for i in 0..BUCKETS - 1 {
+            let edge = upper_edge_micros(i).expect("finite edge");
+            assert_eq!(bucket_index(edge), i, "edge {edge} must be inclusive");
+            assert_eq!(bucket_index(edge + 1), i + 1, "edge {edge} + 1 spills over");
+        }
+        assert!(upper_edge_micros(BUCKETS - 1).is_none());
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let gauge = Gauge::new();
+        gauge.add(5);
+        gauge.add(-2);
+        assert_eq!(gauge.get(), 3);
+        let high = Gauge::new();
+        high.observe_max(10);
+        high.observe_max(4);
+        assert_eq!(high.get(), 10);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)]
+    fn float_counter_accumulates_concurrently() {
+        let fc = FloatCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        fc.add(0.5);
+                    }
+                });
+            }
+        });
+        // 0.5 is exactly representable: the total is exact.
+        assert_eq!(fc.get(), 2000.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_report_bucket_upper_edges() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.observe_micros(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.sum_micros, 101_106);
+        assert_eq!(snap.quantile_micros(0.0), Some(1));
+        assert_eq!(snap.quantile_micros(0.5), Some(4)); // 3rd of 6 → bucket of 3 → edge 4
+        assert_eq!(snap.quantile_micros(1.0), Some(131_072));
+        assert_eq!(HistogramSnapshot::empty().quantile_micros(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_delta_recovers_interval_counts() {
+        let h = Histogram::new();
+        h.observe_micros(10);
+        let before = h.snapshot();
+        h.observe_micros(10);
+        h.observe_micros(5000);
+        let after = h.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum_micros, 5010);
+    }
+}

@@ -41,11 +41,21 @@
 //! near the warm baseline instead of regressing to
 //! `repeat-quantile-cold`'s full re-sort.
 //!
+//! Around every workload the generator scrapes the server's
+//! `/v1/metrics?format=json` and embeds the deltas in the run rows
+//! (schema v5): `server_p50_ms`/`server_p99_ms` from the per-endpoint
+//! handle-latency histogram (bucketed upper bounds — the gap to the
+//! client-side percentiles is queue + transport time), plus
+//! `server_503`/`server_panics` counters. A server without the
+//! flight recorder (`--no-metrics`) yields zeros.
+//!
 //! `--check` is the CI smoke mode (mirroring `bench_baseline
 //! --check`): tiny run, then an assertion that the report
 //! round-trips through the shared JSON codec. Nothing is written.
 
 use std::time::{Duration, Instant};
+use updp_core::json::JsonValue;
+use updp_obs::{HistogramSnapshot, BUCKETS};
 use updp_serve::client::{query_body, Connection};
 use updp_serve::report::{host_meta, percentile_ms, LoadRun, ServeReport, SCHEMA};
 use updp_serve::{FlushPolicy, Ledger, Server};
@@ -147,7 +157,120 @@ fn summarize(workload: &str, connections: usize, mut latencies: Vec<f64>, wall_m
         rps: latencies.len() as f64 / (wall_ms / 1e3),
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
+        // Filled in by `with_scrape` from the /v1/metrics deltas.
+        server_p50_ms: 0.0,
+        server_p99_ms: 0.0,
+        server_503: 0,
+        server_panics: 0,
     }
+}
+
+/// One `/v1/metrics?format=json` scrape, reduced to what the report
+/// embeds: the per-endpoint handle-latency histograms and the
+/// 503/panic counters (summed over shards).
+#[derive(Default)]
+struct Scrape {
+    handle: Vec<(String, HistogramSnapshot)>,
+    refused: u64,
+    panics: u64,
+}
+
+impl Scrape {
+    fn handle_for(&self, endpoint: &str) -> HistogramSnapshot {
+        self.handle
+            .iter()
+            .find(|(name, _)| name == endpoint)
+            .map(|(_, snap)| *snap)
+            .unwrap_or_else(HistogramSnapshot::empty)
+    }
+}
+
+/// Scrapes the server's metrics; a server without the flight recorder
+/// (or an unreachable one) degrades to an all-zero scrape, never an
+/// abort — metrics must not be able to fail a load run.
+fn scrape(addr: &str) -> Scrape {
+    Connection::open(addr)
+        .ok()
+        .and_then(|mut connection| connection.metrics_json().ok())
+        .and_then(|body| parse_scrape(&body))
+        .unwrap_or_default()
+}
+
+fn parse_scrape(body: &str) -> Option<Scrape> {
+    let doc = JsonValue::parse(body).ok()?;
+    let families = doc.as_object("metrics").ok()?.get_array("families").ok()?;
+    let mut out = Scrape::default();
+    for family in families {
+        let family = family.as_object("family").ok()?;
+        let name = family.get_str("name").ok()?;
+        let samples = family.get_array("samples").ok()?;
+        match name.as_str() {
+            "updp_http_handle_seconds" => {
+                for sample in samples {
+                    let sample = sample.as_object("sample").ok()?;
+                    let endpoint = sample
+                        .get("labels")
+                        .ok()?
+                        .as_object("labels")
+                        .ok()?
+                        .get_str("endpoint")
+                        .ok()?;
+                    let mut snap = HistogramSnapshot::empty();
+                    snap.sum_micros = sample.get_f64("sum_micros").ok()? as u64;
+                    let buckets = sample.get_array("buckets").ok()?;
+                    for (i, bucket) in buckets.iter().enumerate().take(BUCKETS) {
+                        snap.counts[i] =
+                            bucket.as_object("bucket").ok()?.get_f64("count").ok()? as u64;
+                    }
+                    out.handle.push((endpoint, snap));
+                }
+            }
+            "updp_reactor_overloaded_total" | "updp_reactor_connections_rejected_total" => {
+                for sample in samples {
+                    out.refused += sample.as_object("sample").ok()?.get_f64("value").ok()? as u64;
+                }
+            }
+            "updp_reactor_handler_panics_total" => {
+                for sample in samples {
+                    out.panics += sample.as_object("sample").ok()?.get_f64("value").ok()? as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+/// Which handle-latency histogram a run row reads.
+fn workload_endpoint(workload: &str) -> &'static str {
+    match workload {
+        "streaming-append" => "/v1/append",
+        "streaming-flush" => "/v1/flush",
+        _ => "/v1/query",
+    }
+}
+
+/// Runs `work` with a metrics scrape on either side and embeds the
+/// server-side deltas into the returned rows.
+fn with_scrape(addr: &str, work: impl FnOnce() -> Vec<LoadRun>) -> Vec<LoadRun> {
+    let before = scrape(addr);
+    let mut rows = work();
+    let after = scrape(addr);
+    let quantile_ms = |snap: &HistogramSnapshot, q: f64| {
+        snap.quantile_micros(q)
+            .map_or(0.0, |micros| micros as f64 / 1e3)
+    };
+    for row in &mut rows {
+        let endpoint = workload_endpoint(&row.workload);
+        let delta = after
+            .handle_for(endpoint)
+            .delta(&before.handle_for(endpoint));
+        row.server_p50_ms = quantile_ms(&delta, 0.50);
+        row.server_p99_ms = quantile_ms(&delta, 0.99);
+        row.server_503 = after.refused.saturating_sub(before.refused) as usize;
+        row.server_panics = after.panics.saturating_sub(before.panics) as usize;
+    }
+    rows
 }
 
 /// One repeated-quantile request (p90 at a tiny ε, hardened like the
@@ -352,24 +475,28 @@ fn main() {
     let host_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let mut runs: Vec<LoadRun> = connections
-        .iter()
-        .map(|&c| {
-            eprintln!(
-                "loadgen: level c = {c} ({} requests/connection)",
-                requests_at(c, requests)
-            );
-            run_level(&addr, c, requests, records)
-        })
-        .collect();
+    let mut runs: Vec<LoadRun> = Vec::new();
+    for &c in &connections {
+        eprintln!(
+            "loadgen: level c = {c} ({} requests/connection)",
+            requests_at(c, requests)
+        );
+        runs.extend(with_scrape(&addr, || {
+            vec![run_level(&addr, c, requests, records)]
+        }));
+    }
     // The cache-effect pair: cold pays the sort per request, warm
     // reuses the snapshot's cached grid.
     let q_requests = if check { 3 } else { requests.min(100) };
     eprintln!(
         "loadgen: repeat-quantile cold/warm ({q_requests} requests, {quantile_records} records)"
     );
-    runs.push(run_quantile_cold(&addr, q_requests, quantile_records));
-    runs.push(run_quantile_warm(&addr, q_requests, quantile_records));
+    runs.extend(with_scrape(&addr, || {
+        vec![run_quantile_cold(&addr, q_requests, quantile_records)]
+    }));
+    runs.extend(with_scrape(&addr, || {
+        vec![run_quantile_warm(&addr, q_requests, quantile_records)]
+    }));
     // The streaming ingestion triple (schema v3): buffered appends,
     // one publication per flush, queries on freshly-published
     // snapshots with merge-maintained caches.
@@ -377,13 +504,15 @@ fn main() {
     eprintln!(
         "loadgen: streaming {append_ratio}:{query_ratio} ({s_iterations} iterations, {quantile_records} records)"
     );
-    runs.extend(run_streaming(
-        &addr,
-        s_iterations,
-        quantile_records,
-        append_ratio,
-        query_ratio,
-    ));
+    runs.extend(with_scrape(&addr, || {
+        run_streaming(
+            &addr,
+            s_iterations,
+            quantile_records,
+            append_ratio,
+            query_ratio,
+        )
+    }));
     let (host_kernel, host_arch) = host_meta();
     let report = ServeReport {
         schema: SCHEMA.into(),

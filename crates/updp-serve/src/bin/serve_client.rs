@@ -13,6 +13,9 @@
 //!            [--quantile Q:E] [--iqr E] [--multi-mean E]
 //!            [--estimator NAME:E]... [--param k=v]...
 //!   estimators
+//!   healthz
+//!   metrics [--json]
+//!   trace
 //!   shutdown
 //! ```
 //!
@@ -214,6 +217,23 @@ fn main() {
         "estimators" => {
             args.finish();
             connection.request("GET", "/v1/estimators", "")
+        }
+        "healthz" => {
+            args.finish();
+            connection.healthz()
+        }
+        "metrics" => {
+            let json = args.flag("--json");
+            args.finish();
+            if json {
+                connection.metrics_json()
+            } else {
+                connection.metrics_text()
+            }
+        }
+        "trace" => {
+            args.finish();
+            connection.trace()
         }
         "shutdown" => {
             args.finish();

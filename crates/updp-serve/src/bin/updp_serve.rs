@@ -25,13 +25,20 @@
 //! * `--max-conns` — live-connection cap across all shards; beyond it
 //!   new connections are answered with a structured 503 `overloaded`
 //!   and closed. Default 4096.
+//! * `--no-metrics` — disable the flight recorder (DESIGN.md §11);
+//!   `/v1/metrics` and `/v1/trace` then render empty families. The
+//!   recorder is observe-only, so released bytes are identical either
+//!   way.
+//! * `--log-json` — emit one structured JSON line per request on
+//!   stderr (the flight-recorder stream).
 
 use updp_serve::{FlushPolicy, Ledger, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH] \
-         [--buffer-rows N] [--buffer-age-ms MS] [--workers N] [--max-conns N]"
+         [--buffer-rows N] [--buffer-age-ms MS] [--workers N] [--max-conns N] \
+         [--no-metrics] [--log-json]"
     );
     std::process::exit(2);
 }
@@ -65,6 +72,8 @@ fn main() {
             "--max-conns" => {
                 config.max_connections = value("--max-conns").parse().unwrap_or_else(|_| usage())
             }
+            "--no-metrics" => config.metrics = false,
+            "--log-json" => config.log_json = true,
             _ => usage(),
         }
     }
@@ -99,9 +108,14 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if let Err(e) = server.run() {
-        eprintln!("updp-serve: {e}");
-        std::process::exit(1);
+    match server.run() {
+        Ok(drain) => println!(
+            "updp-serve: clean shutdown ({} drained, {} aborted)",
+            drain.drained, drain.aborted
+        ),
+        Err(e) => {
+            eprintln!("updp-serve: {e}");
+            std::process::exit(1);
+        }
     }
-    println!("updp-serve: clean shutdown");
 }

@@ -129,6 +129,28 @@ impl Connection {
     pub fn shutdown(&mut self) -> Result<String, ClientError> {
         self.request("POST", "/v1/shutdown", "")
     }
+
+    /// `GET /v1/healthz`: uptime, worker count, active connections,
+    /// and pending delta-log rows per dataset.
+    pub fn healthz(&mut self) -> Result<String, ClientError> {
+        self.request("GET", "/v1/healthz", "")
+    }
+
+    /// `GET /v1/metrics`: the Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.request("GET", "/v1/metrics", "")
+    }
+
+    /// `GET /v1/metrics?format=json`: the same families as JSON
+    /// (what `loadgen` scrapes for server-side latency).
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        self.request("GET", "/v1/metrics?format=json", "")
+    }
+
+    /// `GET /v1/trace`: the buffered flight-recorder events.
+    pub fn trace(&mut self) -> Result<String, ClientError> {
+        self.request("GET", "/v1/trace", "")
+    }
 }
 
 /// Builds a single-dataset query body (the shape `serve-client` and

@@ -307,6 +307,24 @@ pub fn execute_batch(
     seed: u64,
     mode: ReleaseMode,
 ) -> Result<Vec<QueryOutcome>, EngineError> {
+    execute_batch_observed(dataset, catalog, ledger, specs, seed, mode, None)
+}
+
+/// [`execute_batch`] with optional instrumentation: per-estimator
+/// query counts, execution latency, and snapping-inflation totals
+/// recorded into `obs` (DESIGN.md §11). Observe-only by construction:
+/// the metrics sink is consulted for nothing — outcomes, seeds, and
+/// ledger arithmetic are identical with `obs` present, absent, or
+/// disabled (pinned by the bit-identical e2e test).
+pub(crate) fn execute_batch_observed(
+    dataset: &Dataset,
+    catalog: &EstimatorCatalog,
+    ledger: &Ledger,
+    specs: &[QuerySpec],
+    seed: u64,
+    mode: ReleaseMode,
+    obs: Option<&crate::metrics::ServeMetrics>,
+) -> Result<Vec<QueryOutcome>, EngineError> {
     for spec in specs {
         validate_spec(catalog, spec, dataset.dim)?;
     }
@@ -341,7 +359,15 @@ pub fn execute_batch(
     let executed: Vec<Option<Result<Execution, UpdpError>>> = par_map_indexed(specs.len(), |i| {
         granted[i].is_none().then(|| {
             let mut rng = seeded(child_seed(seed, i as u64));
-            run_query(&view, estimators[i], &specs[i], mode, &mut rng)
+            // Timing lives here (not in updp-obs) so the clock read
+            // stays in transport-scoped code; the result feeds metrics
+            // only, never the estimate.
+            let started = obs.map(|_| std::time::Instant::now());
+            let result = run_query(&view, estimators[i], &specs[i], mode, &mut rng);
+            if let (Some(obs), Some(started)) = (obs, started) {
+                obs.record_engine_query(estimators[i].name(), started.elapsed().as_micros() as u64);
+            }
+            result
         })
     });
     drop(view);
@@ -378,14 +404,21 @@ pub fn execute_batch(
                 };
                 match topup {
                     Some(refusal) => QueryOutcome::Refused { kind, refusal },
-                    None => QueryOutcome::Released {
-                        kind,
-                        assumptions: estimators[i].assumptions(),
-                        privacy: estimators[i].privacy(),
-                        values: execution.values.clone(),
-                        epsilon_charged: spec.epsilon + execution.inflation(),
-                        release: execution.release.clone(),
-                    },
+                    None => {
+                        if let Some(obs) = obs {
+                            if execution.inflation() > 0.0 {
+                                obs.record_engine_inflation(kind, execution.inflation());
+                            }
+                        }
+                        QueryOutcome::Released {
+                            kind,
+                            assumptions: estimators[i].assumptions(),
+                            privacy: estimators[i].privacy(),
+                            values: execution.values.clone(),
+                            epsilon_charged: spec.epsilon + execution.inflation(),
+                            release: execution.release.clone(),
+                        }
+                    }
                 }
             }
             (None, Some(Err(e))) => QueryOutcome::Failed {

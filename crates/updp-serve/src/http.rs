@@ -396,8 +396,20 @@ pub fn reason(status: u16) -> &'static str {
 /// on its per-connection write queues; the blocking path writes them
 /// straight to the socket).
 pub fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    encode_response_with_type(status, body, keep_alive, "application/json")
+}
+
+/// Like [`encode_response`] but with an explicit `Content-Type`
+/// (`/v1/metrics` serves Prometheus text exposition, everything else
+/// is JSON).
+pub fn encode_response_with_type(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+) -> Vec<u8> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

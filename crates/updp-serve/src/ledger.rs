@@ -23,7 +23,7 @@
 //! ledger entries survive even `drop` — budget is a property of the
 //! *data subjects*, not of the in-memory copy of the data.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use updp_core::json::JsonValue;
@@ -100,6 +100,10 @@ pub struct Ledger {
     path: Option<PathBuf>,
     accounts: Mutex<HashMap<String, Account>>,
     persist_lock: Mutex<()>,
+    /// Budget refusals served per dataset this process lifetime.
+    /// Observability only (DESIGN.md §11): never persisted, never
+    /// consulted by reservation decisions.
+    refusals: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Ledger {
@@ -109,6 +113,7 @@ impl Ledger {
             path: None,
             accounts: Mutex::new(HashMap::new()),
             persist_lock: Mutex::new(()),
+            refusals: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -124,6 +129,7 @@ impl Ledger {
             path: Some(path.into()),
             accounts: Mutex::new(accounts),
             persist_lock: Mutex::new(()),
+            refusals: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -204,6 +210,15 @@ impl Ledger {
             }
             (outcomes, any_granted)
         };
+        let refused = outcomes.iter().filter(|o| o.is_err()).count() as u64;
+        if refused > 0 {
+            // Observe-only refusal tally for `/v1/metrics`. A poisoned
+            // counter map drops the observation rather than surfacing
+            // an error into the query path.
+            if let Ok(mut refusals) = self.refusals.lock() {
+                *refusals.entry(name.into()).or_insert(0) += refused;
+            }
+        }
         if any_granted {
             // The spend is committed in memory; callers only observe
             // the grant after this persists, so a crash in between
@@ -221,6 +236,17 @@ impl Ledger {
             .get(name)
             .copied()
             .ok_or_else(|| LedgerError::UnknownDataset(name.into()))
+    }
+
+    /// Budget refusals served per dataset this process lifetime,
+    /// sorted by name. Not persisted; resets on restart. Degrades to
+    /// an empty list on lock poisoning (observability must not fail
+    /// the scrape).
+    pub fn refusal_counts(&self) -> Vec<(String, u64)> {
+        match self.refusals.lock() {
+            Ok(refusals) => refusals.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// All accounts as `(name, account)` rows, sorted by name.

@@ -33,7 +33,14 @@
 //!   module (the raw epoll syscall shim);
 //! * [`client`] — the blocking client used by `serve-client`,
 //!   `loadgen`, and the e2e tests;
-//! * [`report`] — the `BENCH_serve.json` load-test report schema.
+//! * [`report`] — the `BENCH_serve.json` load-test report schema;
+//! * `metrics` — the flight recorder (DESIGN.md §11): per-shard
+//!   reactor counters, per-endpoint latency histograms, per-estimator
+//!   engine timings and per-dataset ε gauges over [`updp_obs`],
+//!   exposed at `GET /v1/metrics` (Prometheus text or JSON) with a
+//!   bounded per-shard request trace at `GET /v1/trace`. Strictly
+//!   observe-only: released bytes are bit-identical with metrics on
+//!   or off.
 //!
 //! Binaries: `updp-serve` (the server), `serve-client` (scripted
 //! queries), `loadgen` (throughput/latency measurement).
@@ -49,6 +56,7 @@ pub mod client;
 pub mod engine;
 pub mod http;
 pub mod ledger;
+pub(crate) mod metrics;
 pub mod poll;
 pub(crate) mod reactor;
 pub mod registry;
@@ -59,4 +67,4 @@ pub mod wire;
 pub use engine::{EstimatorCatalog, QueryOutcome, QuerySpec, ReleaseMode};
 pub use ledger::Ledger;
 pub use registry::{FlushPolicy, Registry};
-pub use server::{Server, ServerConfig};
+pub use server::{DrainSummary, Server, ServerConfig};

@@ -30,17 +30,19 @@
 //! and ledger ordering keeps the same per-request atomicity it had
 //! under thread-per-connection (DESIGN.md §10).
 
-use crate::http::{encode_response, HttpError, Request, RequestParser};
+use crate::http::{encode_response_with_type, HttpError, Request, RequestParser};
+use crate::metrics::{endpoint_label, ShardMetrics};
 use crate::poll::{self, Epoll, Events, WakePipe};
-use crate::server::{route, AppState, ServerConfig};
+use crate::server::{route, AppState, DrainSummary, ServerConfig, CONTENT_TYPE_JSON};
 use crate::wire;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use updp_obs::TraceEvent;
 
 /// Slab token of the wake pipe.
 const TOKEN_WAKE: u64 = u64::MAX;
@@ -55,17 +57,18 @@ const READ_CHUNK: usize = 64 * 1024;
 /// from starving the rest of the shard.
 const MAX_READS_PER_TICK: usize = 16;
 /// How long drain mode waits for queued responses to flush before
-/// force-closing (shutdown must not hang on a stalled peer).
-const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+/// force-closing (shutdown must not hang on a stalled peer). The
+/// shutdown response advertises it as `drain_deadline_ms`.
+pub(crate) const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 /// Epoll timeout while draining, so the deadline is observed even
 /// with no socket activity.
 const DRAIN_TICK_MS: i32 = 25;
 
-/// State shared by every worker shard.
+/// State shared by every worker shard. The live-connection count
+/// (the accept-then-503 cap) lives on [`AppState`] so `/v1/healthz`
+/// and `/v1/metrics` can read it; the reactor is its only writer.
 struct Shared {
     state: Arc<AppState>,
-    /// Live connections across all shards (the accept-then-503 cap).
-    conns: AtomicUsize,
     /// One wake handle per worker; shutdown wakes every shard.
     wakes: Vec<poll::WakeHandle>,
 }
@@ -81,6 +84,14 @@ struct Conn {
     closing: bool,
     /// The interest set currently registered with epoll.
     interest: u32,
+    /// When the first byte of the in-progress request arrived
+    /// (metrics only; `None` while metrics are off). Taken at
+    /// dispatch, so pipelined followers in the same batch report a
+    /// parse latency of 0.
+    req_started: Option<Instant>,
+    /// When the write queue last went from empty to non-empty
+    /// (metrics only): the start point of the write-flush latency.
+    out_since: Option<Instant>,
 }
 
 impl Conn {
@@ -92,6 +103,8 @@ impl Conn {
             sent: 0,
             closing: false,
             interest: 0,
+            req_started: None,
+            out_since: None,
         }
     }
 
@@ -101,8 +114,16 @@ impl Conn {
     }
 
     fn enqueue(&mut self, status: u16, body: &str, keep_alive: bool) {
-        self.out
-            .extend_from_slice(&encode_response(status, body, keep_alive));
+        self.enqueue_typed(status, body, CONTENT_TYPE_JSON, keep_alive);
+    }
+
+    fn enqueue_typed(&mut self, status: u16, body: &str, content_type: &str, keep_alive: bool) {
+        self.out.extend_from_slice(&encode_response_with_type(
+            status,
+            body,
+            keep_alive,
+            content_type,
+        ));
         if !keep_alive {
             self.closing = true;
         }
@@ -122,12 +143,13 @@ impl Conn {
 }
 
 /// Runs the reactor until shutdown completes. Consumes the listener;
-/// returns when every shard has drained.
+/// returns the summed per-shard [`DrainSummary`] once every shard has
+/// drained.
 pub(crate) fn run(
     listener: TcpListener,
     state: Arc<AppState>,
     config: ServerConfig,
-) -> io::Result<()> {
+) -> io::Result<DrainSummary> {
     listener.set_nonblocking(true)?;
     let workers = config.resolved_workers();
     let mut pipes = Vec::with_capacity(workers);
@@ -137,11 +159,7 @@ pub(crate) fn run(
         wakes.push(pipe.handle()?);
         pipes.push(pipe);
     }
-    let shared = Shared {
-        state,
-        conns: AtomicUsize::new(0),
-        wakes,
-    };
+    let shared = Shared { state, wakes };
     let shared = &shared;
     let config = &config;
     std::thread::scope(|scope| {
@@ -150,20 +168,28 @@ pub(crate) fn run(
             Some(pipe) => pipe,
             None => WakePipe::new()?, // unreachable: workers >= 1
         };
-        for pipe in pipes {
+        let mut handles = Vec::new();
+        for (offset, pipe) in pipes.enumerate() {
             let listener = listener.try_clone()?;
             // Panics cannot escape a worker (route runs under
             // catch_unwind); a worker exiting early only happens on
             // catastrophic epoll failure, which worker 0 reports too.
-            scope.spawn(move || {
-                if let Ok(worker) = Worker::new(listener, pipe, shared, config) {
-                    let _ = worker.serve();
+            handles.push(scope.spawn(move || {
+                match Worker::new(offset + 1, listener, pipe, shared, config) {
+                    Ok(worker) => worker.serve().unwrap_or_default(),
+                    Err(_) => DrainSummary::default(),
                 }
-            });
+            }));
         }
         // Worker 0 runs on the calling thread; the scope joins the
         // rest before returning.
-        Worker::new(listener, first, shared, config)?.serve()
+        let mut summary = Worker::new(0, listener, first, shared, config)?.serve()?;
+        for handle in handles {
+            let shard = handle.join().unwrap_or_default();
+            summary.drained += shard.drained;
+            summary.aborted += shard.aborted;
+        }
+        Ok(summary)
     })
 }
 
@@ -185,10 +211,17 @@ struct Worker<'a> {
     draining: bool,
     deadline: Option<Instant>,
     listener_active: bool,
+    /// This shard's pre-resolved metric handles.
+    shard: ShardMetrics,
+    /// Connections that flushed and closed cleanly during drain.
+    drained: usize,
+    /// Connections force-closed at the drain deadline.
+    aborted: usize,
 }
 
 impl<'a> Worker<'a> {
     fn new(
+        index: usize,
         listener: TcpListener,
         pipe: WakePipe,
         shared: &'a Shared,
@@ -218,14 +251,18 @@ impl<'a> Worker<'a> {
             draining: false,
             deadline: None,
             listener_active: true,
+            shard: shared.state.metrics.shard(index),
+            drained: 0,
+            aborted: 0,
         })
     }
 
-    fn serve(mut self) -> io::Result<()> {
+    fn serve(mut self) -> io::Result<DrainSummary> {
         let mut events = Events::with_capacity(EVENTS_CAP);
         loop {
             let timeout = if self.draining { DRAIN_TICK_MS } else { -1 };
             let fired = self.epoll.wait(&mut events, timeout)?;
+            self.shard.wakeup();
             for i in 0..fired {
                 let event = events.get(i);
                 match event.token {
@@ -239,7 +276,10 @@ impl<'a> Worker<'a> {
             }
             self.free.append(&mut self.freed);
             if self.draining && self.drain_finished() {
-                return Ok(());
+                return Ok(DrainSummary {
+                    drained: self.drained,
+                    aborted: self.aborted,
+                });
             }
         }
     }
@@ -266,10 +306,12 @@ impl<'a> Worker<'a> {
             if let Some(bytes) = self.config.send_buffer {
                 let _ = poll::set_send_buffer(stream.as_raw_fd(), bytes);
             }
-            let over_cap =
-                self.shared.conns.fetch_add(1, Ordering::SeqCst) >= self.config.max_connections;
+            self.shard.accepted();
+            let over_cap = self.shared.state.conns.fetch_add(1, Ordering::SeqCst)
+                >= self.config.max_connections;
             let mut conn = Conn::new(stream);
             if over_cap {
+                self.shard.rejected_at_cap();
                 conn.enqueue(
                     503,
                     &wire::error_body("overloaded", "connection limit reached"),
@@ -305,19 +347,25 @@ impl<'a> Worker<'a> {
         };
         let mut dead = event.failed;
         if !dead && event.writable {
-            dead = flush_out(&mut conn);
+            dead = flush_out(&mut conn, &self.shard);
         }
         if !dead && event.readable {
             dead = if conn.closing {
                 // Lingering close: discard peer bytes so the close
                 // (once `out` drains) sends FIN, not an RST that
                 // would destroy the final response in flight.
-                sink(&mut conn, &mut self.scratch)
+                sink(&mut conn, &mut self.scratch, &self.shard)
             } else {
-                read_and_dispatch(&mut conn, &mut self.scratch, self.shared, self.config)
+                read_and_dispatch(
+                    &mut conn,
+                    &mut self.scratch,
+                    self.shared,
+                    self.config,
+                    &self.shard,
+                )
             };
             if !dead {
-                dead = flush_out(&mut conn);
+                dead = flush_out(&mut conn, &self.shard);
             }
         }
         self.park(idx, conn, dead);
@@ -346,10 +394,19 @@ impl<'a> Worker<'a> {
     }
 
     /// Drops the connection (closing the fd deregisters it) and
-    /// releases its slot and global count.
+    /// releases its slot and global count. Once shutdown has been
+    /// requested this is the clean exit — the connection flushed (or
+    /// was idle/errored), so it counts as drained. Checked against
+    /// the shutdown flag rather than `self.draining` because the
+    /// requester's own connection closes in the same event batch as
+    /// the request, before this worker enters drain mode. Deadline
+    /// force-closes bypass this and count as aborted instead.
     fn discard(&mut self, idx: usize, conn: Conn) {
         drop(conn);
-        self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+        self.shared.state.conns.fetch_sub(1, Ordering::SeqCst);
+        if self.draining || self.shared.state.shutdown_requested() {
+            self.drained += 1;
+        }
         self.freed.push(idx);
     }
 
@@ -381,7 +438,12 @@ impl<'a> Worker<'a> {
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             for idx in 0..self.slab.len() {
                 if let Some(conn) = self.slab[idx].take() {
-                    self.discard(idx, conn);
+                    // Force-close with bytes still queued: aborted,
+                    // not drained (so not via `discard`).
+                    drop(conn);
+                    self.shared.state.conns.fetch_sub(1, Ordering::SeqCst);
+                    self.freed.push(idx);
+                    self.aborted += 1;
                 }
             }
             return true;
@@ -392,11 +454,14 @@ impl<'a> Worker<'a> {
 
 /// Writes queued bytes until done or the kernel pushes back. Returns
 /// true when the connection is dead.
-fn flush_out(conn: &mut Conn) -> bool {
+fn flush_out(conn: &mut Conn, shard: &ShardMetrics) -> bool {
     while conn.sent < conn.out.len() {
         match conn.stream.write(&conn.out[conn.sent..]) {
             Ok(0) => return true,
-            Ok(n) => conn.sent += n,
+            Ok(n) => {
+                conn.sent += n;
+                shard.bytes_written(n as u64);
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 // Reclaim the flushed prefix so a long-lived slow
                 // reader cannot grow the buffer unboundedly behind
@@ -413,17 +478,24 @@ fn flush_out(conn: &mut Conn) -> bool {
     }
     conn.out.clear();
     conn.sent = 0;
+    // Queue fully drained: close out the write-flush latency window.
+    if let Some(since) = conn.out_since.take() {
+        shard.write_flush_micros(since.elapsed().as_micros() as u64);
+    }
     false
 }
 
 /// Lingering-close read: consumes and discards peer bytes on a
 /// connection that is already closing. Returns true when the
 /// connection is dead.
-fn sink(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+fn sink(conn: &mut Conn, scratch: &mut [u8], shard: &ShardMetrics) -> bool {
     for _ in 0..MAX_READS_PER_TICK {
         match conn.stream.read(scratch) {
             Ok(0) => return false, // peer finished sending
-            Ok(_) => continue,
+            Ok(n) => {
+                shard.bytes_read(n as u64);
+                continue;
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return true,
@@ -440,6 +512,7 @@ fn read_and_dispatch(
     scratch: &mut [u8],
     shared: &Shared,
     config: &ServerConfig,
+    shard: &ShardMetrics,
 ) -> bool {
     for _ in 0..MAX_READS_PER_TICK {
         let n = match conn.stream.read(scratch) {
@@ -455,6 +528,10 @@ fn read_and_dispatch(
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return true,
         };
+        shard.bytes_read(n as u64);
+        if conn.req_started.is_none() && shard.enabled() {
+            conn.req_started = Some(Instant::now());
+        }
         let requests = match conn.parser.feed(&scratch[..n]) {
             Ok(requests) => requests,
             Err(HttpError::Malformed(reason)) => {
@@ -464,7 +541,7 @@ fn read_and_dispatch(
             Err(_) => return true,
         };
         for request in &requests {
-            dispatch(conn, request, shared, config);
+            dispatch(conn, request, shared, config, shard);
             if conn.closing {
                 // A close-after-this response (shutdown, parse-error,
                 // backpressure, Connection: close) ends the session;
@@ -482,13 +559,22 @@ fn read_and_dispatch(
 }
 
 /// Routes one request and enqueues its response, applying the
-/// backpressure and panic-isolation contracts.
-fn dispatch(conn: &mut Conn, request: &Request, shared: &Shared, config: &ServerConfig) {
+/// backpressure and panic-isolation contracts. Instrumentation here
+/// is strictly observe-only: every status, body byte, and connection
+/// fate is identical with metrics on or off.
+fn dispatch(
+    conn: &mut Conn,
+    request: &Request,
+    shared: &Shared,
+    config: &ServerConfig,
+    shard: &ShardMetrics,
+) {
     // Backpressure: a peer that pipelines requests without reading
     // responses gets a final structured 503, then teardown. Checked
     // per request so the queue is bounded by the cap plus one
     // response.
     if conn.queued() > config.max_write_queue {
+        shard.overloaded();
         conn.enqueue(
             503,
             &wire::error_body(
@@ -499,18 +585,73 @@ fn dispatch(conn: &mut Conn, request: &Request, shared: &Shared, config: &Server
         );
         return;
     }
+    // Parse latency: first socket byte of this batch → dispatch.
+    let parse_micros = conn
+        .req_started
+        .take()
+        .map(|t| t.elapsed().as_micros() as u64)
+        .unwrap_or(0);
     let is_shutdown = request.method == "POST" && request.path == "/v1/shutdown";
+    let handle_started = shard.enabled().then(Instant::now);
     let routed = catch_unwind(AssertUnwindSafe(|| route(&shared.state, request)));
-    match routed {
-        Ok((status, body)) => conn.enqueue(status, &body, request.keep_alive && !is_shutdown),
+    let handle_micros = handle_started.map_or(0, |t| t.elapsed().as_micros() as u64);
+    let (status, dataset, bytes_out) = match routed {
+        Ok(routed) => {
+            let meta = (routed.status, routed.dataset, routed.body.len() as u64);
+            conn.enqueue_typed(
+                routed.status,
+                &routed.body,
+                routed.content_type,
+                request.keep_alive && !is_shutdown,
+            );
+            meta
+        }
         // The handler panicked: this request answers 500 and loses
         // its connection; the worker and its other connections are
         // untouched.
-        Err(_) => conn.enqueue(
-            500,
-            &wire::error_body("internal", "handler panicked"),
-            false,
-        ),
+        Err(_) => {
+            shard.panic_caught();
+            let body = wire::error_body("internal", "handler panicked");
+            let len = body.len() as u64;
+            conn.enqueue(500, &body, false);
+            (500, None, len)
+        }
+    };
+    shard.queue_high_water(conn.queued());
+    if conn.queued() > 0 && conn.out_since.is_none() && shard.enabled() {
+        conn.out_since = Some(Instant::now());
+    }
+    let metrics = &shared.state.metrics;
+    metrics.record_request(
+        endpoint_label(&request.path),
+        status,
+        parse_micros,
+        handle_micros,
+    );
+    if metrics.enabled() {
+        let event = TraceEvent {
+            id: metrics.next_request_id(),
+            shard: shard.index,
+            method: request.method.clone(),
+            path: request.path.clone(),
+            dataset,
+            status,
+            parse_micros,
+            handle_micros,
+            bytes_in: request.body.len() as u64,
+            bytes_out,
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        };
+        if config.log_json {
+            // The opt-in --log-json flight-recorder stream: one JSON
+            // line per request on stderr, for operators tailing logs.
+            // updp-lint: allow(R6, reason="--log-json stderr stream is an operator-facing product surface, gated behind an opt-in config flag")
+            eprintln!("{}", event.to_json().to_compact());
+        }
+        metrics.trace_event(shard.index, event);
     }
     if is_shutdown {
         shared.state.begin_shutdown();

@@ -5,20 +5,28 @@
 
 use updp_core::json::JsonValue;
 
-/// The current schema tag. v4 added host metadata (`host_kernel`,
+/// The current schema tag. v5 added the server-side flight-recorder
+/// columns per run (`server_p50_ms`/`server_p99_ms` from the
+/// `/v1/metrics` handle-latency histogram delta around the run, plus
+/// `server_503`/`server_panics` counter deltas), so the report shows
+/// queue/transport time separately from in-handler time.
+pub const SCHEMA: &str = "updp-serve-loadgen/v5";
+
+/// The previous schema tag. v4 added host metadata (`host_kernel`,
 /// `host_arch`) alongside `host_threads`, and the reactor-era
 /// high-connection-count sweep rows (64/256/1024) in the batch
-/// workload.
-pub const SCHEMA: &str = "updp-serve-loadgen/v4";
+/// workload; a committed v4 report still parses (the v5 server-side
+/// columns default to zero).
+pub const SCHEMA_V4: &str = "updp-serve-loadgen/v4";
 
-/// The previous schema tag. v3 added the streaming workload rows and
-/// the top-level `streaming_ratio` field; a committed v3 report still
+/// Two schemas back. v3 added the streaming workload rows and the
+/// top-level `streaming_ratio` field; a committed v3 report still
 /// parses (the v4 host metadata defaults to empty), so old baselines
 /// remain readable.
 pub const SCHEMA_V3: &str = "updp-serve-loadgen/v3";
 
-/// Two schemas back. A committed v2 report (no `streaming_ratio`, no
-/// streaming rows, no host metadata) still parses too.
+/// Three schemas back. A committed v2 report (no `streaming_ratio`,
+/// no streaming rows, no host metadata) still parses too.
 pub const SCHEMA_V2: &str = "updp-serve-loadgen/v2";
 
 /// Host metadata for the report: `(kernel release, architecture)`.
@@ -59,6 +67,22 @@ pub struct LoadRun {
     pub p50_ms: f64,
     /// 99th-percentile request latency, milliseconds.
     pub p99_ms: f64,
+    /// Server-side median handler latency (ms) over the run, from the
+    /// `/v1/metrics` handle-latency histogram delta. Bucketed
+    /// (nearest-rank on log₂ bucket upper edges), so it is coarser
+    /// than the client-side `p50_ms`; the gap between the two is
+    /// queue + transport time. Zero when parsed from a pre-v5 report
+    /// or when the scrape was unavailable.
+    pub server_p50_ms: f64,
+    /// Server-side 99th-percentile handler latency (ms); see
+    /// `server_p50_ms`.
+    pub server_p99_ms: f64,
+    /// 503s the server issued during the run (connection-cap
+    /// rejections + write-queue overload), from counter deltas.
+    pub server_503: usize,
+    /// Handler panics the reactor caught during the run (should stay
+    /// 0; CI asserts it).
+    pub server_panics: usize,
 }
 
 /// The full load report.
@@ -103,6 +127,10 @@ impl ServeReport {
                     ("rps", run.rps.into()),
                     ("p50_ms", run.p50_ms.into()),
                     ("p99_ms", run.p99_ms.into()),
+                    ("server_p50_ms", run.server_p50_ms.into()),
+                    ("server_p99_ms", run.server_p99_ms.into()),
+                    ("server_503", run.server_503.into()),
+                    ("server_panics", run.server_panics.into()),
                 ])
             })
             .collect();
@@ -123,16 +151,18 @@ impl ServeReport {
     }
 
     /// Parses a report previously produced by [`ServeReport::to_json`]
-    /// — the current v4 layout or a committed v3/v2 one (v3 lacks the
-    /// host metadata; v2 additionally lacks `streaming_ratio` and the
-    /// streaming rows). Missing legacy fields default to empty.
+    /// — the current v5 layout or a committed v4/v3/v2 one (v4 lacks
+    /// the server-side columns, which default to zero; v3 additionally
+    /// lacks host metadata; v2 additionally lacks `streaming_ratio`
+    /// and the streaming rows). Missing legacy fields default to
+    /// empty/zero.
     pub fn from_json(input: &str) -> Result<Self, String> {
         let doc = JsonValue::parse(input)?;
         let obj = doc.as_object("top level")?;
         let schema = obj.get_str("schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
+        if schema != SCHEMA && schema != SCHEMA_V4 && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
             return Err(format!(
-                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V3}`/`{SCHEMA_V2}`)"
+                "unknown schema `{schema}`, expected `{SCHEMA}` (or legacy `{SCHEMA_V4}`/`{SCHEMA_V3}`/`{SCHEMA_V2}`)"
             ));
         }
         let streaming_ratio = if schema == SCHEMA_V2 {
@@ -140,16 +170,27 @@ impl ServeReport {
         } else {
             obj.get_str("streaming_ratio")?
         };
-        let (host_kernel, host_arch) = if schema == SCHEMA {
-            (obj.get_str("host_kernel")?, obj.get_str("host_arch")?)
-        } else {
+        let (host_kernel, host_arch) = if schema == SCHEMA_V3 || schema == SCHEMA_V2 {
             (String::new(), String::new())
+        } else {
+            (obj.get_str("host_kernel")?, obj.get_str("host_arch")?)
         };
         let runs = obj
             .get_array("runs")?
             .iter()
             .map(|v| -> Result<LoadRun, String> {
                 let run = v.as_object("run")?;
+                let (server_p50_ms, server_p99_ms, server_503, server_panics) = if schema == SCHEMA
+                {
+                    (
+                        run.get_f64("server_p50_ms")?,
+                        run.get_f64("server_p99_ms")?,
+                        run.get_usize("server_503")?,
+                        run.get_usize("server_panics")?,
+                    )
+                } else {
+                    (0.0, 0.0, 0, 0)
+                };
                 Ok(LoadRun {
                     workload: run.get_str("workload")?,
                     connections: run.get_usize("connections")?,
@@ -158,6 +199,10 @@ impl ServeReport {
                     rps: run.get_f64("rps")?,
                     p50_ms: run.get_f64("p50_ms")?,
                     p99_ms: run.get_f64("p99_ms")?,
+                    server_p50_ms,
+                    server_p99_ms,
+                    server_503,
+                    server_panics,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -209,6 +254,10 @@ mod tests {
                     rps: 399.84,
                     p50_ms: 2.25,
                     p99_ms: 8.875,
+                    server_p50_ms: 1.024,
+                    server_p99_ms: 4.096,
+                    server_503: 0,
+                    server_panics: 0,
                 },
                 LoadRun {
                     workload: "batch".into(),
@@ -218,6 +267,10 @@ mod tests {
                     rps: 1333.28,
                     p50_ms: 5.5,
                     p99_ms: 19.25,
+                    server_p50_ms: 2.048,
+                    server_p99_ms: 8.192,
+                    server_503: 3,
+                    server_panics: 0,
                 },
             ],
             note: "test sample".into(),
@@ -239,6 +292,48 @@ mod tests {
         assert!(ServeReport::from_json("{\"schema\": \"updp-bench-baseline/v1\"}").is_err());
         let json = sample().to_json();
         assert!(ServeReport::from_json(&json[..json.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn committed_v4_layout_still_parses() {
+        // The exact shape of the BENCH_serve.json committed before
+        // the v5 bump: no server-side flight-recorder columns. Old
+        // baselines must stay readable, with those columns zero.
+        let v4 = r#"{
+  "schema": "updp-serve-loadgen/v4",
+  "host_threads": 1,
+  "host_kernel": "6.1.0-test",
+  "host_arch": "x86_64",
+  "dataset_records": 10000,
+  "quantile_records": 100000,
+  "streaming_ratio": "1:1",
+  "runs": [
+    {
+      "workload": "batch",
+      "connections": 64,
+      "requests": 640,
+      "wall_ms": 812.75,
+      "rps": 787.4500153798832,
+      "p50_ms": 71.924,
+      "p99_ms": 117.30999999999999
+    }
+  ],
+  "note": "hardened batch (mean + p90 + iqr) per request"
+}
+"#;
+        let report = ServeReport::from_json(v4).unwrap();
+        assert_eq!(report.schema, SCHEMA_V4);
+        assert_eq!(report.host_kernel, "6.1.0-test");
+        assert_eq!(report.runs[0].p50_ms, 71.924);
+        assert_eq!(report.runs[0].server_p50_ms, 0.0);
+        assert_eq!(report.runs[0].server_p99_ms, 0.0);
+        assert_eq!(report.runs[0].server_503, 0);
+        assert_eq!(report.runs[0].server_panics, 0);
+        // Re-rendering writes the current layout, which round-trips.
+        let mut upgraded = report.clone();
+        upgraded.schema = SCHEMA.into();
+        let json = upgraded.to_json();
+        assert_eq!(ServeReport::from_json(&json).unwrap(), upgraded);
     }
 
     #[test]

@@ -18,15 +18,20 @@
 //! | `POST /v1/query` | see [`crate::wire::parse_query`] | budgeted batch estimation |
 //! | `POST /v1/shutdown` | — | graceful stop |
 
-use crate::engine::{execute_batch, EngineError, EstimatorCatalog, QueryOutcome, ReleaseMode};
+use crate::engine::{
+    execute_batch_observed, EngineError, EstimatorCatalog, QueryOutcome, ReleaseMode,
+};
 use crate::http::Request;
 use crate::ledger::{Ledger, LedgerError};
+use crate::metrics::{endpoint_label, ServeMetrics};
 use crate::registry::{FlushPolicy, Registry, RegistryError};
 use crate::{reactor, wire};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use updp_core::json::JsonValue;
+use updp_obs::{Kind, ScrapedFamily};
 
 /// Transport knobs for the reactor (DESIGN.md §10). The defaults are
 /// the production configuration; tests tighten them to make the
@@ -48,6 +53,14 @@ pub struct ServerConfig {
     /// buffering at high connection counts and makes the write-queue
     /// backpressure observable with small deterministic buffers.
     pub send_buffer: Option<usize>,
+    /// Record metrics and trace events (DESIGN.md §11). Always
+    /// observe-only; `false` exists so the e2e suite can pin that
+    /// released bytes are bit-identical with instrumentation hot or
+    /// cold.
+    pub metrics: bool,
+    /// Emit one structured JSON line per request on stderr (the
+    /// opt-in `--log-json` flight-recorder stream).
+    pub log_json: bool,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +70,8 @@ impl Default for ServerConfig {
             max_connections: 4096,
             max_write_queue: 256 * 1024,
             send_buffer: None,
+            metrics: true,
+            log_json: false,
         }
     }
 }
@@ -81,6 +96,16 @@ pub struct AppState {
     pub ledger: Ledger,
     /// The name-keyed estimator catalog (universal + baselines).
     pub estimators: EstimatorCatalog,
+    /// The metric families and trace rings (DESIGN.md §11).
+    pub(crate) metrics: ServeMetrics,
+    /// Live connections across all shards. The reactor is the only
+    /// writer; `/v1/healthz` and `/v1/metrics` read it.
+    pub(crate) conns: AtomicUsize,
+    /// Bind time, for the healthz uptime report. Transport-scoped
+    /// wall clock: never feeds any release path.
+    pub(crate) started: Instant,
+    /// Resolved reactor worker count.
+    pub(crate) workers: usize,
     shutdown: AtomicBool,
     /// Test-only hook: arms the panicking `/v1/test/panic` route used
     /// to prove reactor panic isolation. Never set in production.
@@ -97,6 +122,20 @@ impl AppState {
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
+}
+
+/// What the drain phase of a shutdown did: how many connections
+/// flushed and closed cleanly, and how many were force-closed when
+/// the 2 s drain deadline expired. Returned by [`Server::run`];
+/// summed across reactor shards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Connections that drained (flushed their queued responses, or
+    /// were already idle) during shutdown.
+    pub drained: usize,
+    /// Connections force-closed at the drain deadline with bytes
+    /// still queued.
+    pub aborted: usize,
 }
 
 /// A bound-but-not-yet-running server.
@@ -133,12 +172,17 @@ impl Server {
         policy: FlushPolicy,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        let workers = config.resolved_workers();
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(AppState {
                 registry: Registry::with_policy(policy),
                 ledger,
                 estimators: EstimatorCatalog::standard(),
+                metrics: ServeMetrics::new(workers, config.metrics),
+                conns: AtomicUsize::new(0),
+                started: Instant::now(),
+                workers,
                 shutdown: AtomicBool::new(false),
                 panic_route: AtomicBool::new(false),
             }),
@@ -162,23 +206,62 @@ impl Server {
 
     /// Serves on the epoll reactor until a `POST /v1/shutdown`
     /// arrives, then drains every in-flight connection before
-    /// returning.
-    pub fn run(self) -> std::io::Result<()> {
+    /// returning the drain's outcome.
+    pub fn run(self) -> std::io::Result<DrainSummary> {
         reactor::run(self.listener, self.state, self.config)
     }
 }
 
-type Response = (u16, String);
+/// `Content-Type` of every JSON response.
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` of the Prometheus text exposition.
+pub(crate) const CONTENT_TYPE_TEXT: &str = "text/plain; version=0.0.4";
 
-fn ok(value: JsonValue) -> Response {
-    (200, value.to_compact())
+/// A routed response: status + body + content type, plus the dataset
+/// the request touched (trace labelling only — the reactor never
+/// branches on it).
+pub(crate) struct Routed {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    pub(crate) content_type: &'static str,
+    pub(crate) dataset: Option<String>,
 }
 
-fn error(status: u16, code: &str, message: &str) -> Response {
-    (status, wire::error_body(code, message))
+impl Routed {
+    fn json(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            body,
+            content_type: CONTENT_TYPE_JSON,
+            dataset: None,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            body,
+            content_type: CONTENT_TYPE_TEXT,
+            dataset: None,
+        }
+    }
+
+    /// Tags the response with the dataset it touched.
+    fn tagged(mut self, dataset: &str) -> Routed {
+        self.dataset = Some(dataset.to_string());
+        self
+    }
 }
 
-fn registry_error(e: &RegistryError) -> Response {
+fn ok(value: JsonValue) -> Routed {
+    Routed::json(200, value.to_compact())
+}
+
+fn error(status: u16, code: &str, message: &str) -> Routed {
+    Routed::json(status, wire::error_body(code, message))
+}
+
+fn registry_error(e: &RegistryError) -> Routed {
     let (status, code) = match e {
         RegistryError::NotFound(_) => (404, "not_found"),
         RegistryError::AlreadyExists(_) => (409, "already_exists"),
@@ -191,7 +274,7 @@ fn registry_error(e: &RegistryError) -> Response {
     error(status, code, &e.to_string())
 }
 
-fn ledger_error(e: &LedgerError) -> Response {
+fn ledger_error(e: &LedgerError) -> Routed {
     match e {
         LedgerError::UnknownDataset(_) => error(404, "not_found", &e.to_string()),
         LedgerError::BadParameter(_) => error(400, "bad_request", &e.to_string()),
@@ -204,26 +287,35 @@ fn ledger_error(e: &LedgerError) -> Response {
 /// panics escaping a handler are caught at the call site
 /// (`catch_unwind`), costing the request a 500 and its connection but
 /// never the worker.
-pub(crate) fn route(state: &AppState, request: &Request) -> Response {
+pub(crate) fn route(state: &AppState, request: &Request) -> Routed {
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return error(400, "bad_request", "body is not UTF-8"),
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/v1/healthz") => ok(JsonValue::object(vec![("ok", true.into())])),
+        ("GET", "/v1/healthz") => healthz(state),
         // Test-only poison pill (see Server::enable_test_panic_route):
         // unarmed servers fall through to the 404 arm below.
         ("POST", "/v1/test/panic") if state.panic_route.load(Ordering::SeqCst) => {
             panic!("test panic route")
         }
         ("GET", "/v1/datasets") => list(state),
-        ("GET", "/v1/estimators") => (200, wire::estimators_response(state.estimators.iter())),
+        ("GET", "/v1/estimators") => {
+            Routed::json(200, wire::estimators_response(state.estimators.iter()))
+        }
+        // The metrics/trace endpoints are the only routes with a
+        // query string ("?format=json"); every other path is matched
+        // verbatim, query string and all, exactly as before.
+        ("GET", path) if endpoint_label(path) == "/v1/metrics" => metrics_scrape(state, path),
+        ("GET", path) if endpoint_label(path) == "/v1/trace" => {
+            Routed::json(200, wire::trace_body(&state.metrics.trace_snapshot()))
+        }
         ("POST", "/v1/register") => register(state, body),
         ("POST", "/v1/append") => append(state, body),
         ("POST", "/v1/flush") => flush(state, body),
         ("POST", "/v1/drop") => drop_dataset(state, body),
         ("POST", "/v1/query") => query(state, body),
-        ("POST", "/v1/shutdown") => ok(JsonValue::object(vec![("shutting_down", true.into())])),
+        ("POST", "/v1/shutdown") => shutdown(state),
         (_, path) if known_path(path) => error(405, "method_not_allowed", path),
         (_, path) => error(404, "not_found", path),
     }
@@ -241,10 +333,147 @@ fn known_path(path: &str) -> bool {
             | "/v1/drop"
             | "/v1/query"
             | "/v1/shutdown"
+            | "/v1/metrics"
+            | "/v1/trace"
     )
 }
 
-fn list(state: &AppState) -> Response {
+/// The readiness probe: liveness plus uptime, worker count, active
+/// connections, and per-dataset pending delta-log rows. A wedged
+/// registry degrades to an empty dataset list — healthz must answer.
+fn healthz(state: &AppState) -> Routed {
+    let pending: Vec<(String, usize)> = state
+        .registry
+        .list()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|row| (row.name, row.pending))
+        .collect();
+    Routed::json(
+        200,
+        wire::healthz_body(
+            state.started.elapsed().as_millis() as u64,
+            state.workers,
+            state.conns.load(Ordering::SeqCst),
+            &pending,
+        ),
+    )
+}
+
+/// `POST /v1/shutdown`: acknowledges with the drain plan — how many
+/// connections are up for draining and the force-close deadline. The
+/// *outcome* (drained vs aborted counts) is only knowable after the
+/// drain completes; [`Server::run`] returns it as a [`DrainSummary`].
+fn shutdown(state: &AppState) -> Routed {
+    ok(JsonValue::object(vec![
+        ("shutting_down", true.into()),
+        (
+            "draining_connections",
+            state.conns.load(Ordering::SeqCst).into(),
+        ),
+        (
+            "drain_deadline_ms",
+            (reactor::DRAIN_DEADLINE.as_millis() as f64).into(),
+        ),
+    ]))
+}
+
+/// `GET /v1/metrics`: Prometheus text by default, JSON with
+/// `?format=json`. Registry families render from their atomics;
+/// ledger ε accounts, refusal counts, pending rows, active
+/// connections, and uptime are scraped from their single sources of
+/// truth at render time.
+fn metrics_scrape(state: &AppState, path: &str) -> Routed {
+    let format = path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let extra = scraped_families(state);
+    match format {
+        "" | "format=text" | "format=prometheus" => {
+            Routed::text(200, state.metrics.render_prometheus(&extra))
+        }
+        "format=json" => Routed::json(200, state.metrics.render_json(&extra).to_compact()),
+        other => error(400, "bad_request", &format!("unknown query `{other}`")),
+    }
+}
+
+/// The scrape-time families: values owned by the ledger/registry/
+/// reactor rather than duplicated into metric state.
+fn scraped_families(state: &AppState) -> Vec<ScrapedFamily> {
+    let accounts = state.ledger.list().unwrap_or_default();
+    let gauge = |name: &str, help: &str, rows: Vec<(Vec<String>, f64)>, kind| ScrapedFamily {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind,
+        label_keys: if rows.iter().any(|(labels, _)| !labels.is_empty()) {
+            vec!["dataset".to_string()]
+        } else {
+            Vec::new()
+        },
+        samples: rows,
+    };
+    let per_account = |f: fn(&crate::ledger::Account) -> f64| -> Vec<(Vec<String>, f64)> {
+        accounts
+            .iter()
+            .map(|(name, account)| (vec![name.clone()], f(account)))
+            .collect()
+    };
+    vec![
+        gauge(
+            "updp_ledger_epsilon_budget",
+            "Total epsilon budget pinned at first registration, by dataset.",
+            per_account(|a| a.budget),
+            Kind::Gauge,
+        ),
+        gauge(
+            "updp_ledger_epsilon_spent",
+            "Epsilon spent (monotone, survives restarts), by dataset.",
+            per_account(|a| a.spent),
+            Kind::Gauge,
+        ),
+        gauge(
+            "updp_ledger_epsilon_remaining",
+            "Epsilon still available, by dataset.",
+            per_account(|a| a.remaining()),
+            Kind::Gauge,
+        ),
+        gauge(
+            "updp_ledger_refusals_total",
+            "budget_exhausted refusals served this process lifetime, by dataset.",
+            state
+                .ledger
+                .refusal_counts()
+                .into_iter()
+                .map(|(name, count)| (vec![name], count as f64))
+                .collect(),
+            Kind::Counter,
+        ),
+        gauge(
+            "updp_registry_pending_rows",
+            "Unflushed delta-log rows, by dataset.",
+            state
+                .registry
+                .list()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|row| (vec![row.name], row.pending as f64))
+                .collect(),
+            Kind::Gauge,
+        ),
+        gauge(
+            "updp_reactor_connections_active",
+            "Open connections across all shards.",
+            vec![(Vec::new(), state.conns.load(Ordering::SeqCst) as f64)],
+            Kind::Gauge,
+        ),
+        gauge(
+            "updp_server_uptime_seconds",
+            "Seconds since the server bound its listener.",
+            vec![(Vec::new(), state.started.elapsed().as_secs_f64())],
+            Kind::Gauge,
+        ),
+    ]
+}
+
+fn list(state: &AppState) -> Routed {
     let rows = match state.registry.list() {
         Ok(rows) => rows,
         Err(e) => return registry_error(&e),
@@ -270,7 +499,7 @@ fn list(state: &AppState) -> Response {
     )]))
 }
 
-fn register(state: &AppState, body: &str) -> Response {
+fn register(state: &AppState, body: &str) -> Routed {
     let request = match wire::parse_register(body) {
         Ok(r) => r,
         Err(e) => return error(400, "bad_request", &e.to_string()),
@@ -309,12 +538,13 @@ fn register(state: &AppState, body: &str) -> Response {
                 ("records", records.into()),
                 ("budget", wire::budget_json(&account)),
             ]))
+            .tagged(&request.name)
         }
         Err(e) => registry_error(&e),
     }
 }
 
-fn append(state: &AppState, body: &str) -> Response {
+fn append(state: &AppState, body: &str) -> Routed {
     let (name, columns) = match wire::parse_append(body) {
         Ok(r) => r,
         Err(e) => return error(400, "bad_request", &e.to_string()),
@@ -326,12 +556,13 @@ fn append(state: &AppState, body: &str) -> Response {
             ("pending", outcome.pending.into()),
             ("version", (outcome.version as f64).into()),
             ("flushed", outcome.flushed.into()),
-        ])),
+        ]))
+        .tagged(&name),
         Err(e) => registry_error(&e),
     }
 }
 
-fn flush(state: &AppState, body: &str) -> Response {
+fn flush(state: &AppState, body: &str) -> Routed {
     let name = match wire::parse_flush(body) {
         Ok(name) => name,
         Err(e) => return error(400, "bad_request", &e.to_string()),
@@ -342,12 +573,13 @@ fn flush(state: &AppState, body: &str) -> Response {
             ("records", outcome.records.into()),
             ("version", (outcome.version as f64).into()),
             ("flushed_rows", outcome.flushed_rows.into()),
-        ])),
+        ]))
+        .tagged(&name),
         Err(e) => registry_error(&e),
     }
 }
 
-fn drop_dataset(state: &AppState, body: &str) -> Response {
+fn drop_dataset(state: &AppState, body: &str) -> Routed {
     let name = match wire::parse_drop(body) {
         Ok(name) => name,
         Err(e) => return error(400, "bad_request", &e.to_string()),
@@ -358,12 +590,13 @@ fn drop_dataset(state: &AppState, body: &str) -> Response {
             ("dropped", true.into()),
             // The ledger entry survives by design (replay protection).
             ("ledger_retained", true.into()),
-        ])),
+        ]))
+        .tagged(&name),
         Err(e) => registry_error(&e),
     }
 }
 
-fn query(state: &AppState, body: &str) -> Response {
+fn query(state: &AppState, body: &str) -> Routed {
     let request = match wire::parse_query(body) {
         Ok(r) => r,
         Err(e) => return error(400, "bad_request", &e.to_string()),
@@ -382,13 +615,14 @@ fn query(state: &AppState, body: &str) -> Response {
             bound: request.bound,
         }
     };
-    let outcomes = match execute_batch(
+    let outcomes = match execute_batch_observed(
         &dataset,
         &state.estimators,
         &state.ledger,
         &request.specs,
         request.seed,
         mode,
+        Some(&state.metrics),
     ) {
         Ok(outcomes) => outcomes,
         Err(EngineError::BadQuery(reason)) => return error(400, "bad_query", &reason),
@@ -408,5 +642,6 @@ fn query(state: &AppState, body: &str) -> Response {
         .iter()
         .all(|o| matches!(o, QueryOutcome::Refused { .. }));
     let status = if starved { 403 } else { 200 };
-    (status, wire::query_response(&request, &outcomes, &account))
+    Routed::json(status, wire::query_response(&request, &outcomes, &account))
+        .tagged(&request.dataset)
 }

@@ -204,6 +204,44 @@ pub fn error_body(code: &str, message: &str) -> String {
     .to_compact()
 }
 
+/// Renders the `/v1/healthz` readiness body: liveness plus uptime,
+/// worker count, active connections, and per-dataset pending
+/// delta-log rows (DESIGN.md §8) so operators can see unflushed data.
+pub fn healthz_body(
+    uptime_ms: u64,
+    workers: usize,
+    active_connections: usize,
+    pending: &[(String, usize)],
+) -> String {
+    let datasets = pending
+        .iter()
+        .map(|(name, rows)| {
+            JsonValue::object(vec![
+                ("name", name.as_str().into()),
+                ("pending_rows", (*rows).into()),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("ok", true.into()),
+        ("uptime_ms", (uptime_ms as f64).into()),
+        ("workers", workers.into()),
+        ("active_connections", active_connections.into()),
+        ("datasets", JsonValue::Array(datasets)),
+    ])
+    .to_compact()
+}
+
+/// Renders the `/v1/trace` body: the flight recorder's buffered
+/// request events, oldest first.
+pub fn trace_body(events: &[updp_obs::TraceEvent]) -> String {
+    JsonValue::object(vec![(
+        "events",
+        JsonValue::Array(events.iter().map(updp_obs::TraceEvent::to_json).collect()),
+    )])
+    .to_compact()
+}
+
 /// The budget trailer attached to dataset-touching responses.
 pub fn budget_json(account: &Account) -> JsonValue {
     JsonValue::object(vec![

@@ -23,7 +23,12 @@ fn temp_ledger(tag: &str) -> PathBuf {
 
 /// Starts a server over `ledger`; returns its address and the thread
 /// to join after shutdown.
-fn start(ledger: Ledger) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+fn start(
+    ledger: Ledger,
+) -> (
+    String,
+    std::thread::JoinHandle<std::io::Result<updp_serve::DrainSummary>>,
+) {
     let server = Server::bind("127.0.0.1:0", ledger).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
     (addr, std::thread::spawn(move || server.run()))

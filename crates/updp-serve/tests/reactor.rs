@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use updp_serve::client::Connection;
 use updp_serve::http::read_response;
-use updp_serve::{FlushPolicy, Ledger, Server, ServerConfig};
+use updp_serve::{DrainSummary, FlushPolicy, Ledger, Server, ServerConfig};
 
 fn temp_ledger(tag: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("updp-reactor-{}-{tag}.json", std::process::id()));
@@ -25,7 +25,10 @@ fn start_with(
     tag: &str,
     config: ServerConfig,
     panic_route: bool,
-) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+) -> (
+    String,
+    std::thread::JoinHandle<std::io::Result<DrainSummary>>,
+) {
     let ledger = Ledger::open(&temp_ledger(tag)).expect("open ledger");
     let server = Server::bind_with_config("127.0.0.1:0", ledger, FlushPolicy::immediate(), config)
         .expect("bind ephemeral port");
