@@ -7,8 +7,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use updp_bench::{bench_rng, gaussian_data};
-use updp_core::clipped_mean::{clipped_mean, clipped_mean_with_outside, count_outside};
+use updp_core::clipped_mean::{
+    clip, clip_i64, clipped_mean, clipped_mean_with_outside, clipped_sum_i64, count_outside,
+};
 use updp_core::privacy::Epsilon;
+use updp_empirical::gaps::GapSummary;
+use updp_empirical::view::sorted_copy_threads;
 use updp_statistical::{estimate_iqr, estimate_mean, estimate_variance, pair_gaps};
 
 fn eps(v: f64) -> Epsilon {
@@ -110,12 +114,117 @@ fn bench_fused_clipped_mean(c: &mut Criterion) {
     group.finish();
 }
 
+/// Old-vs-new clip+sum kernels (DESIGN.md §12) at n = 10⁶: the
+/// historical per-element branchy loops against the chunked/branchless
+/// rewrites. Both sides are bit-identical in output; only throughput
+/// differs.
+fn bench_clip_sum_kernels(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = gaussian_data(n);
+    let (lo, hi) = (90.0, 110.0);
+    let ints: Vec<i64> = data.iter().map(|&x| (x * 1000.0) as i64).collect();
+    let (ilo, ihi) = (80_000i64, 120_000i64);
+
+    let mut group = c.benchmark_group("kernels/clip_sum_n=1e6");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("old_count_outside_branchy", |b| {
+        b.iter(|| {
+            black_box(&data)
+                .iter()
+                .filter(|&&x| x < lo || x > hi)
+                .count()
+        })
+    });
+    group.bench_function("new_count_outside_branchless", |b| {
+        b.iter(|| count_outside(black_box(&data), lo, hi))
+    });
+    group.bench_function("old_clipped_mean_per_element", |b| {
+        b.iter(|| {
+            let mut mean = 0.0f64;
+            for (i, &x) in black_box(&data).iter().enumerate() {
+                mean += (clip(x, lo, hi) - mean) / (i + 1) as f64;
+            }
+            mean
+        })
+    });
+    group.bench_function("new_clipped_mean_chunked", |b| {
+        b.iter(|| clipped_mean(black_box(&data), lo, hi).unwrap())
+    });
+    group.bench_function("old_clipped_sum_i128_per_element", |b| {
+        b.iter(|| {
+            black_box(&ints)
+                .iter()
+                .map(|&x| clip_i64(x, ilo, ihi) as i128)
+                .sum::<i128>()
+        })
+    });
+    group.bench_function("new_clipped_sum_chunked", |b| {
+        b.iter(|| clipped_sum_i64(black_box(&ints), ilo, ihi))
+    });
+    group.finish();
+}
+
+/// Serial vs parallel deterministic sort for cold `ColumnCache` builds
+/// at n = 2²⁰ (above `PAR_SORT_MIN_LEN`). Outputs are bit-identical at
+/// any thread count; on a 1-core host the parallel side degenerates to
+/// ~1x plus merge overhead — the committed baseline notes this.
+fn bench_parallel_sort(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = gaussian_data(n);
+    let threads = updp_core::parallel::max_threads();
+    let mut group = c.benchmark_group("kernels/sorted_copy_n=2^20");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("old_serial_sort", |b| {
+        b.iter(|| {
+            let mut v = black_box(&data).clone();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    });
+    group.bench_function(format!("new_parallel_sort_t={threads}"), |b| {
+        b.iter(|| sorted_copy_threads(black_box(&data), threads))
+    });
+    group.finish();
+}
+
+/// Warm-path gap counting at n = 10⁶: the historical per-call pairing
+/// shuffle + O(n) scan against the cached `GapSummary`'s
+/// `partition_point` counts (DESIGN.md §12). This is the residual
+/// warm-quantile cost PR 4 measured, now amortized to one build.
+fn bench_gap_summary(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = gaussian_data(n);
+    let thresholds: Vec<f64> = (-10..=10).map(|k| 2f64.powi(k)).collect();
+    let mut group = c.benchmark_group("kernels/warm_gap_count_n=1e6");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("old_per_call_pairing", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            let gaps = pair_gaps(&mut rng, black_box(&data));
+            thresholds.iter().map(|&x| gaps.count_le(x)).sum::<usize>()
+        })
+    });
+    let summary = GapSummary::build(&data);
+    group.bench_function("new_cached_summary", |b| {
+        b.iter(|| {
+            thresholds
+                .iter()
+                .map(|&x| black_box(&summary).count_le(x))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mean_scaling,
     bench_variance_scaling,
     bench_iqr_scaling,
     bench_pair_gaps_counting,
-    bench_fused_clipped_mean
+    bench_fused_clipped_mean,
+    bench_clip_sum_kernels,
+    bench_parallel_sort,
+    bench_gap_summary
 );
 criterion_main!(benches);

@@ -73,6 +73,56 @@ pub const SCHEMA: &str = "updp-bench-baseline/v2";
 /// to empty).
 pub const SCHEMA_V1: &str = "updp-bench-baseline/v1";
 
+/// Gross-slowdown factor for the CI perf smoke gate
+/// (`bench_baseline --smoke --check-regression FILE`): a measured
+/// micro row more than this many times slower than the committed row
+/// with the same `(workload, n)` fails the gate. Loose on purpose —
+/// CI hosts are noisy and shared; the gate catches accidental
+/// complexity-class regressions, not percent-level drift.
+pub const REGRESSION_FACTOR: f64 = 3.0;
+
+/// Compares measured micro rows against a committed baseline.
+///
+/// Rows are matched by `(workload, n)`; rows present on only one side
+/// are ignored (the committed file spans sizes a smoke run does not
+/// re-measure), as are committed rows with a non-positive time.
+/// Returns one human-readable line per regression — empty means the
+/// gate passes. Errors when no row matched at all: a silently vacuous
+/// gate would be worse than none.
+pub fn regressions(
+    measured: &BaselineReport,
+    committed: &BaselineReport,
+    factor: f64,
+) -> Result<Vec<String>, String> {
+    let mut matched = 0usize;
+    let mut failures = Vec::new();
+    for row in &measured.micro {
+        let Some(base) = committed
+            .micro
+            .iter()
+            .find(|b| b.workload == row.workload && b.n == row.n)
+        else {
+            continue;
+        };
+        if base.ms <= 0.0 {
+            continue;
+        }
+        matched += 1;
+        if row.ms > base.ms * factor {
+            failures.push(format!(
+                "{} at n={}: measured {:.3} ms vs committed {:.3} ms (>{factor}x)",
+                row.workload, row.n, row.ms, base.ms
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err(
+            "no (workload, n) rows in common between the measured and committed reports".into(),
+        );
+    }
+    Ok(failures)
+}
+
 /// Host metadata for the report: `(kernel release, architecture)`.
 pub fn host_meta() -> (String, String) {
     let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
@@ -243,6 +293,39 @@ mod tests {
         let json = sample().to_json();
         assert!(BaselineReport::from_json(&json[..json.len() - 3]).is_err());
         assert!(BaselineReport::from_json(&format!("{json}garbage")).is_err());
+    }
+
+    #[test]
+    fn regression_gate_matches_by_workload_and_n() {
+        let committed = sample();
+        let mut measured = sample();
+        // Within 3x: passes.
+        measured.micro[0].ms = committed.micro[0].ms * 2.9;
+        // Unmatched row (different n): ignored.
+        measured.micro[1].n += 1;
+        let fails = regressions(&measured, &committed, REGRESSION_FACTOR).unwrap();
+        assert!(fails.is_empty(), "unexpected failures: {fails:?}");
+        // Beyond 3x: fails with the workload named.
+        measured.micro[0].ms = committed.micro[0].ms * 3.1;
+        let fails = regressions(&measured, &committed, REGRESSION_FACTOR).unwrap();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("estimate_mean"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn regression_gate_rejects_vacuous_comparisons() {
+        let committed = sample();
+        let mut measured = sample();
+        for row in &mut measured.micro {
+            row.workload.push('x');
+        }
+        assert!(regressions(&measured, &committed, REGRESSION_FACTOR).is_err());
+        // Non-positive committed times are skipped, not divided by.
+        let mut zeroed = sample();
+        for row in &mut zeroed.micro {
+            row.ms = 0.0;
+        }
+        assert!(regressions(&sample(), &zeroed, REGRESSION_FACTOR).is_err());
     }
 
     #[test]

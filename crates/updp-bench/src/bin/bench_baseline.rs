@@ -1,7 +1,7 @@
 //! Measures the perf baseline and writes `BENCH_baseline.json`.
 //!
 //! ```text
-//! bench_baseline [--check] [--out PATH]
+//! bench_baseline [--check] [--smoke [--check-regression FILE]] [--out PATH]
 //! ```
 //!
 //! Full mode times the macro workloads — one universal estimate
@@ -11,13 +11,23 @@
 //! parallelism, then writes the JSON report every later perf PR is
 //! judged against.
 //!
-//! `--check` is the CI smoke mode: tiny n, a two-experiment suite, and
-//! an assertion that the report round-trips through the schema parser
-//! (`BaselineReport::from_json(to_json(r)) == r`) — keeping the binary
-//! and `BENCH_baseline.json`'s schema from rotting. Nothing is written.
+//! `--check` is the CI schema smoke: tiny n, a two-experiment suite,
+//! and an assertion that the report round-trips through the schema
+//! parser (`BaselineReport::from_json(to_json(r)) == r`) — keeping the
+//! binary and `BENCH_baseline.json`'s schema from rotting. Nothing is
+//! written.
+//!
+//! `--smoke` is the CI *perf* smoke: re-measures the micro workloads
+//! at the committed baseline's smallest size (n = 10⁴, seconds of wall
+//! time, not minutes) so `--check-regression FILE` can compare the
+//! matching `(workload, n)` rows against the committed
+//! `BENCH_baseline.json` and fail the build on a gross (>
+//! [`REGRESSION_FACTOR`]x) slowdown. Nothing is written.
 
 use std::time::Instant;
-use updp_bench::baseline::{host_meta, BaselineReport, ExperimentsQuick, MicroRow, SCHEMA};
+use updp_bench::baseline::{
+    host_meta, regressions, BaselineReport, ExperimentsQuick, MicroRow, REGRESSION_FACTOR, SCHEMA,
+};
 use updp_bench::gaussian_data;
 use updp_core::privacy::Epsilon;
 use updp_experiments::{registry, ExpConfig};
@@ -92,21 +102,33 @@ fn host_threads() -> usize {
         .unwrap_or(1)
 }
 
+fn usage() -> ! {
+    eprintln!("usage: bench_baseline [--check] [--smoke [--check-regression FILE]] [--out PATH]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let regression_path = args
+        .iter()
+        .position(|a| a == "--check-regression")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let known = ["--check", "--smoke", "--check-regression", "--out"];
     if args
         .iter()
-        .any(|a| a != "--check" && a != "--out" && a.starts_with("--"))
-        || (args.iter().any(|a| a == "--out") && check)
+        .any(|a| a.starts_with("--") && !known.contains(&a.as_str()))
+        || (args.iter().any(|a| a == "--out") && (check || smoke))
+        || (check && smoke)
+        || (regression_path.is_some() && !smoke)
     {
-        eprintln!("usage: bench_baseline [--check] [--out PATH]");
-        std::process::exit(2);
+        usage();
     }
 
     let threads = host_threads();
@@ -134,6 +156,34 @@ fn main() {
                 speedup: serial_ms / parallel_ms,
             },
             note: "smoke mode (--check): numbers are not a baseline".into(),
+        }
+    } else if smoke {
+        eprintln!("bench_baseline --smoke: small-n re-measurement for the regression gate");
+        let cfg = ExpConfig {
+            trials: 2,
+            quick: true,
+            ..ExpConfig::default()
+        };
+        let ids = ["emp-mean", "iqr-lb"];
+        let serial_ms = experiments_ms(&cfg, Some(&ids), 1);
+        let parallel_ms = experiments_ms(&cfg, Some(&ids), threads);
+        let (host_kernel, host_arch) = host_meta();
+        BaselineReport {
+            schema: SCHEMA.into(),
+            host_threads: threads,
+            host_kernel,
+            host_arch,
+            // The committed baseline's smallest micro size, so the
+            // regression gate compares matching (workload, n) rows.
+            micro: micro_rows(&[10_000]),
+            experiments_quick: ExperimentsQuick {
+                serial_ms,
+                parallel_ms,
+                threads,
+                speedup: serial_ms / parallel_ms,
+            },
+            note: "smoke mode (--smoke): small-n rows for --check-regression, not a baseline"
+                .into(),
         }
     } else {
         eprintln!("bench_baseline: full run (this takes a few minutes)");
@@ -172,8 +222,39 @@ fn main() {
         .unwrap_or_else(|e| panic!("schema round-trip failed to parse: {e}"));
     assert_eq!(parsed, report, "schema round-trip changed the report");
 
+    if let Some(path) = &regression_path {
+        let committed_text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_baseline: read {path}: {e}");
+            std::process::exit(1);
+        });
+        let committed = BaselineReport::from_json(&committed_text).unwrap_or_else(|e| {
+            eprintln!("bench_baseline: parse {path}: {e}");
+            std::process::exit(1);
+        });
+        match regressions(&report, &committed, REGRESSION_FACTOR) {
+            Ok(failures) if failures.is_empty() => {
+                println!(
+                    "bench_baseline --check-regression OK: all matched rows within \
+                     {REGRESSION_FACTOR}x of {path}"
+                );
+            }
+            Ok(failures) => {
+                for failure in &failures {
+                    eprintln!("PERF REGRESSION: {failure}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench_baseline --check-regression: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if check {
         println!("bench_baseline --check OK: schema {SCHEMA} round-trips");
+    } else if smoke {
+        println!("bench_baseline --smoke OK");
     } else {
         std::fs::write(&out_path, &json).expect("write baseline report");
         println!("wrote {out_path}");

@@ -24,19 +24,116 @@ pub fn clip_i64(x: i64, lo: i64, hi: i64) -> i64 {
     x.clamp(lo, hi)
 }
 
+/// Fixed chunk width of the branchless clip/count/sum kernels below
+/// (DESIGN.md §12). The width is a compile-time constant so the inner
+/// loops have a known trip count the compiler unrolls and
+/// autovectorizes; 64 f64s fill eight AVX-512 / sixteen SSE2 registers
+/// and stay far below any overflow bound the integer kernels need.
+pub const KERNEL_CHUNK: usize = 64;
+
+/// The shared clip+count+mean kernel: per [`KERNEL_CHUNK`]-wide chunk,
+/// clamp into a stack buffer and count out-of-range elements
+/// branchlessly (two simple elementwise loops, written to
+/// autovectorize), then fold the clamped chunk through **exactly** the
+/// serial streaming recurrence of the historical implementation.
+///
+/// Bit-identity argument (DESIGN.md §12): the mean recurrence
+/// `m += (c − m)/(i+1)` is order-dependent and is **not** re-associated
+/// — it consumes the same clamped values in the same order as before.
+/// Only the clamp (elementwise, no cross-element data flow) and the
+/// count (integer addition, exact and associative) are re-chunked, and
+/// neither can change any released bit.
+fn clipped_mean_outside_kernel(data: &[f64], lo: f64, hi: f64) -> (f64, usize) {
+    let mut mean = 0.0f64;
+    let mut outside = 0usize;
+    let mut i = 0usize;
+    let mut buf = [0.0f64; KERNEL_CHUNK];
+    let mut chunks = data.chunks_exact(KERNEL_CHUNK);
+    for chunk in &mut chunks {
+        for (slot, &x) in buf.iter_mut().zip(chunk) {
+            *slot = x.clamp(lo, hi);
+        }
+        let mut out = 0usize;
+        for &x in chunk {
+            out += usize::from(x < lo) + usize::from(x > hi);
+        }
+        outside += out;
+        for &c in &buf {
+            mean += (c - mean) / (i + 1) as f64;
+            i += 1;
+        }
+    }
+    for &x in chunks.remainder() {
+        outside += usize::from(x < lo) + usize::from(x > hi);
+        let c = x.clamp(lo, hi);
+        mean += (c - mean) / (i + 1) as f64;
+        i += 1;
+    }
+    (mean, outside)
+}
+
 /// The (non-private) clipped mean `μ(Clip(D, [lo, hi]))`.
 ///
 /// Uses a numerically stable streaming mean; clipping bounds every term by
-/// `max(|lo|, |hi|)` so no intermediate overflow is possible.
+/// `max(|lo|, |hi|)` so no intermediate overflow is possible. The clamp
+/// pass is chunked to autovectorize ([`KERNEL_CHUNK`]); the recurrence
+/// itself is untouched, so the result is bit-identical to the
+/// historical per-element loop.
 pub fn clipped_mean(data: &[f64], lo: f64, hi: f64) -> Result<f64> {
     ensure_nonempty(data)?;
     validate_interval(lo, hi)?;
+    // Mean-only kernel: same chunked clamp + untouched recurrence as
+    // `clipped_mean_outside_kernel`, minus the outside-count loop the
+    // caller would discard.
     let mut mean = 0.0f64;
-    for (i, &x) in data.iter().enumerate() {
-        let c = clip(x, lo, hi);
-        mean += (c - mean) / (i + 1) as f64;
+    let mut i = 0usize;
+    let mut buf = [0.0f64; KERNEL_CHUNK];
+    let mut chunks = data.chunks_exact(KERNEL_CHUNK);
+    for chunk in &mut chunks {
+        for (slot, &x) in buf.iter_mut().zip(chunk) {
+            *slot = x.clamp(lo, hi);
+        }
+        for &c in &buf {
+            mean += (c - mean) / (i + 1) as f64;
+            i += 1;
+        }
+    }
+    for &x in chunks.remainder() {
+        mean += (x.clamp(lo, hi) - mean) / (i + 1) as f64;
+        i += 1;
     }
     Ok(mean)
+}
+
+/// Exact clipped sum `Σ clamp(x, [lo, hi])` with `i128` accumulation.
+///
+/// Unlike the f64 streaming mean, integer addition is associative and
+/// the clamp is elementwise, so this kernel may be freely re-chunked
+/// without changing a single bit. When `max(|lo|, |hi|)` guarantees a
+/// [`KERNEL_CHUNK`]-wide partial cannot overflow `i64`, chunks
+/// accumulate in `i64` (which autovectorizes — `i128` adds do not) and
+/// fold into the `i128` total; otherwise it falls back to the
+/// historical per-element `i128` accumulation. Both paths are exact.
+pub fn clipped_sum_i64(data: &[i64], lo: i64, hi: i64) -> i128 {
+    debug_assert!(lo <= hi);
+    let bound = lo.unsigned_abs().max(hi.unsigned_abs());
+    if bound > i64::MAX as u64 / KERNEL_CHUNK as u64 {
+        return data.iter().map(|&x| clip_i64(x, lo, hi) as i128).sum();
+    }
+    let mut total: i128 = 0;
+    let mut chunks = data.chunks_exact(KERNEL_CHUNK);
+    for chunk in &mut chunks {
+        let mut part: i64 = 0;
+        for &x in chunk {
+            part += x.clamp(lo, hi);
+        }
+        total += part as i128;
+    }
+    let mut part: i64 = 0;
+    for &x in chunks.remainder() {
+        part += x.clamp(lo, hi);
+    }
+    total + part as i128
 }
 
 /// Integer-domain clipped mean, returned as `f64`.
@@ -48,8 +145,7 @@ pub fn clipped_mean_i64(data: &[i64], lo: i64, hi: i64) -> Result<f64> {
             reason: format!("lo ({lo}) must not exceed hi ({hi})"),
         });
     }
-    // i128 accumulation cannot overflow: n ≤ 2^63 terms of magnitude ≤ 2^63.
-    let sum: i128 = data.iter().map(|&x| clip_i64(x, lo, hi) as i128).sum();
+    let sum = clipped_sum_i64(data, lo, hi);
     Ok(sum as f64 / data.len() as f64)
 }
 
@@ -80,31 +176,39 @@ pub fn private_clipped_mean<R: Rng + ?Sized>(
 
 /// The number of elements of `data` strictly outside `[lo, hi]` — the
 /// clipping bias diagnostic reported by the statistical estimators.
+///
+/// Branchless: each element contributes `(x < lo) + (x > hi)` as
+/// integers, which vectorizes to compare+mask lanes. NaN compares
+/// false on both sides, so NaNs are not counted — exactly the
+/// behavior of the historical `x < lo || x > hi` filter.
 pub fn count_outside(data: &[f64], lo: f64, hi: f64) -> usize {
-    data.iter().filter(|&&x| x < lo || x > hi).count()
+    let mut outside = 0usize;
+    let mut chunks = data.chunks_exact(KERNEL_CHUNK);
+    for chunk in &mut chunks {
+        let mut out = 0usize;
+        for &x in chunk {
+            out += usize::from(x < lo) + usize::from(x > hi);
+        }
+        outside += out;
+    }
+    for &x in chunks.remainder() {
+        outside += usize::from(x < lo) + usize::from(x > hi);
+    }
+    outside
 }
 
 /// Fused single-pass `(clipped_mean, count_outside)`.
 ///
 /// The Algorithm 8/9 hot path needs both the clipped mean (the release)
 /// and the number of clipped elements (the bias diagnostic); computing
-/// them separately re-reads the full dataset. This fuses both into the
-/// one pass, with the mean accumulated by *exactly* the same streaming
-/// recurrence as [`clipped_mean`] — the returned mean is bit-identical
-/// to calling the two functions separately.
+/// them separately re-reads the full dataset. Both are produced by the
+/// shared chunked kernel, with the mean accumulated by *exactly* the
+/// same streaming recurrence as [`clipped_mean`] — the returned mean is
+/// bit-identical to calling the two functions separately.
 pub fn clipped_mean_with_outside(data: &[f64], lo: f64, hi: f64) -> Result<(f64, usize)> {
     ensure_nonempty(data)?;
     validate_interval(lo, hi)?;
-    let mut mean = 0.0f64;
-    let mut outside = 0usize;
-    for (i, &x) in data.iter().enumerate() {
-        if x < lo || x > hi {
-            outside += 1;
-        }
-        let c = clip(x, lo, hi);
-        mean += (c - mean) / (i + 1) as f64;
-    }
-    Ok((mean, outside))
+    Ok(clipped_mean_outside_kernel(data, lo, hi))
 }
 
 fn validate_interval(lo: f64, hi: f64) -> Result<()> {
@@ -233,5 +337,74 @@ mod tests {
         let data = vec![1e15; 1000];
         let m = clipped_mean(&data, 0.0, 2e15).unwrap();
         assert!((m - 1e15).abs() / 1e15 < 1e-12);
+    }
+
+    /// Per-element reference implementations of the historical
+    /// (pre-chunking) kernels — the chunked versions must match these
+    /// bitwise on every input, including NaN.
+    fn reference_mean_outside(data: &[f64], lo: f64, hi: f64) -> (f64, usize) {
+        let mut mean = 0.0f64;
+        let mut outside = 0usize;
+        for (i, &x) in data.iter().enumerate() {
+            if x < lo || x > hi {
+                outside += 1;
+            }
+            mean += (clip(x, lo, hi) - mean) / (i + 1) as f64;
+        }
+        (mean, outside)
+    }
+
+    #[test]
+    fn chunked_kernel_matches_reference_bitwise() {
+        let mut rng = seeded(11);
+        use rand::Rng;
+        // Lengths straddling the chunk width exercise both the exact
+        // chunks and the remainder loop.
+        for n in [1usize, 63, 64, 65, 128, 130, 1000] {
+            let mut data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2e3 - 1e3).collect();
+            if n > 4 {
+                data[1] = f64::NAN;
+                data[2] = f64::NEG_INFINITY;
+                data[3] = -0.0;
+                data[4] = f64::INFINITY;
+            }
+            for (lo, hi) in [(-500.0, 500.0), (0.0, 0.0), (-1e300, 1e300)] {
+                let (rm, ro) = reference_mean_outside(&data, lo, hi);
+                let (m, o) = clipped_mean_with_outside(&data, lo, hi).unwrap();
+                assert_eq!(m.to_bits(), rm.to_bits(), "n={n} lo={lo} hi={hi}");
+                assert_eq!(o, ro);
+                assert_eq!(count_outside(&data, lo, hi), ro);
+                assert_eq!(clipped_mean(&data, lo, hi).unwrap().to_bits(), rm.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn clipped_sum_matches_reference_on_both_paths() {
+        let mut rng = seeded(12);
+        use rand::Rng;
+        for n in [0usize, 1, 64, 65, 200] {
+            let data: Vec<i64> = (0..n).map(|_| rng.gen::<i64>()).collect();
+            // Fast path: bounds small enough for i64 chunk partials.
+            let (lo, hi) = (-1_000_000, 1_000_000);
+            let want: i128 = data.iter().map(|&x| clip_i64(x, lo, hi) as i128).sum();
+            assert_eq!(clipped_sum_i64(&data, lo, hi), want);
+            // Fallback path: bounds too large for the chunked partials.
+            let (lo, hi) = (i64::MIN, i64::MAX);
+            let want: i128 = data.iter().map(|&x| x as i128).sum();
+            assert_eq!(clipped_sum_i64(&data, lo, hi), want);
+        }
+    }
+
+    #[test]
+    fn clipped_sum_extreme_bounds_cannot_overflow() {
+        let data = vec![i64::MAX; 300];
+        let want = i64::MAX as i128 * 300;
+        assert_eq!(clipped_sum_i64(&data, i64::MIN, i64::MAX), want);
+        let data = vec![i64::MIN; 300];
+        assert_eq!(
+            clipped_sum_i64(&data, i64::MIN, i64::MAX),
+            i64::MIN as i128 * 300
+        );
     }
 }

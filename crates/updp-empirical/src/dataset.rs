@@ -5,6 +5,7 @@
 //! `rad(D) = maxᵢ |Xᵢ|`, `γ(D) = Xₙ − X₁`, and
 //! `Count(D, x) = |D ∩ [−x, x]|` (the SVT query of Algorithm 3).
 
+use updp_core::clipped_mean::clipped_sum_i64;
 use updp_core::error::{Result, UpdpError};
 
 /// A sorted multiset of integers — the dataset type `D ∈ Zⁿ`.
@@ -140,8 +141,15 @@ impl SortedInts {
     }
 
     /// The empirical mean `μ(D)` as `f64` (exact i128 accumulation).
+    ///
+    /// Routed through the chunked [`clipped_sum_i64`] kernel with the
+    /// dataset's own min/max as bounds — the clamp is the identity on
+    /// every element (the values are sorted, so the bounds are O(1)),
+    /// and the kernel's chunked `i64` partials autovectorize where the
+    /// historical per-element `i128` loop could not. Integer addition
+    /// is exact, so the sum (and the mean) is bit-identical.
     pub fn mean(&self) -> f64 {
-        let sum: i128 = self.values.iter().map(|&v| v as i128).sum();
+        let sum = clipped_sum_i64(&self.values, self.min(), self.max());
         sum as f64 / self.values.len() as f64
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod dataset;
 pub mod discretize;
+pub mod gaps;
 pub mod mean;
 pub mod packing;
 pub mod quantile;
@@ -35,10 +36,13 @@ pub use dataset::SortedInts;
 pub use discretize::{
     real_mean, real_quantile, real_quantile_view, real_radius, real_range, Discretizer, RealRange,
 };
+pub use gaps::GapSummary;
 pub use mean::{infinite_domain_mean, EmpiricalMeanResult};
 pub use packing::PackingFamily;
 pub use quantile::{infinite_domain_quantile, rank_error, QuantileResult};
 pub use radius::infinite_domain_radius;
 pub use range::{infinite_domain_range, IntRange};
 pub use sum::{infinite_domain_sum, SumResult};
-pub use view::{ColumnCache, ColumnView, DataView, PreparedDataset};
+pub use view::{
+    sorted_copy, sorted_copy_threads, ColumnCache, ColumnView, DataView, PreparedDataset,
+};

@@ -16,6 +16,7 @@
 use crate::dataset::SortedInts;
 use crate::range::{infinite_domain_range, IntRange};
 use rand::Rng;
+use updp_core::clipped_mean::clipped_sum_i64;
 use updp_core::error::Result;
 use updp_core::laplace::sample_laplace;
 use updp_core::privacy::Epsilon;
@@ -44,11 +45,9 @@ pub fn infinite_domain_sum<R: Rng + ?Sized>(
     beta: f64,
 ) -> Result<SumResult> {
     let range = infinite_domain_range(rng, data, epsilon.scale(4.0 / 5.0), beta / 2.0)?;
-    let clipped_sum: i128 = data
-        .values()
-        .iter()
-        .map(|&v| v.clamp(range.lo, range.hi) as i128)
-        .sum();
+    // Chunked clip+sum kernel (bit-identical to the historical
+    // per-element i128 loop — integer addition is exact).
+    let clipped_sum = clipped_sum_i64(data.values(), range.lo, range.hi);
     // Sensitivity of the clipped sum: replacing one record moves it by at
     // most max(|lo|, |hi|) + ... — precisely (hi − lo) if both ends share
     // a sign, max(|lo|, |hi|) + min... a clean upper bound is

@@ -27,13 +27,25 @@
 //! consume **no randomness** — so feeding an estimator a cached
 //! artifact instead of a freshly computed one never changes the
 //! estimator's RNG draw sequence, and released values stay
-//! bit-identical to the uncached path. Artifacts that *do* depend on
-//! mechanism coins (the random pair-gap structure of Algorithm 7) are
-//! deliberately **not** cacheable here: reusing a pairing across
-//! queries would change every subsequent draw.
+//! bit-identical to the uncached path. The pair-gap structure of
+//! Algorithm 7 historically drew its pairing from mechanism coins and
+//! was therefore not cacheable; DESIGN.md §12 replaces that pairing
+//! with a snapshot-derived pseudorandom permutation
+//! ([`crate::gaps::GapSummary`]), making a per-column gap summary
+//! cache-legal. Because routing consumers through the summary changes
+//! *which* coins they draw (the per-call shuffle disappears), the
+//! summary is strictly **opt-in** via
+//! [`PreparedDataset::with_gap_summaries`]: default snapshots and bare
+//! views keep the historical draw sequence bit-for-bit.
+//!
+//! Cold sorted-copy builds go through [`sorted_copy`], a deterministic
+//! parallel merge sort: `total_cmp` ties are bit-identical, so chunked
+//! sorting plus run merging (the proptest-pinned `merge_sorted_f64`
+//! lemma) yields the identical byte sequence at any `UPDP_THREADS`.
 
 use crate::dataset::SortedInts;
 use crate::discretize::Discretizer;
+use crate::gaps::GapSummary;
 // BTreeMap, not HashMap: grid caches sit in the determinism scope and
 // `successor` iterates them, so container order must be a pure
 // function of the keys (updp-lint R2, DESIGN.md §5/§7).
@@ -49,6 +61,75 @@ use updp_core::error::Result;
 /// would make publication cost `O(G·n)` and hold dead grids alive
 /// forever. The freshest few cover the live buckets.
 pub const MAX_CARRIED_GRIDS: usize = 4;
+
+/// Columns shorter than this sort serially even when `UPDP_THREADS`
+/// permits parallelism. Experiment trials are themselves parallelized
+/// by the §5 engine, so per-trial sorts must not spawn nested worker
+/// pools; only genuinely large cold builds (the serving registry's
+/// registration path) clear this bar. Chosen so the O(n) merge rounds
+/// amortize the thread spawn cost even on modest hosts.
+pub const PAR_SORT_MIN_LEN: usize = 1 << 17;
+
+/// A `total_cmp`-sorted copy of `data`, parallel for large columns.
+///
+/// Honors `UPDP_THREADS` via [`updp_core::parallel::max_threads`];
+/// columns below [`PAR_SORT_MIN_LEN`] take the serial fast path
+/// unconditionally. Output is bit-identical at any thread count (see
+/// [`sorted_copy_threads`]).
+pub fn sorted_copy(data: &[f64]) -> Vec<f64> {
+    let threads = if data.len() >= PAR_SORT_MIN_LEN {
+        updp_core::parallel::max_threads()
+    } else {
+        1
+    };
+    sorted_copy_threads(data, threads)
+}
+
+/// [`sorted_copy`] with an explicit worker count (1 ⇒ serial
+/// `sort_by(total_cmp)`, no threads, no threshold).
+///
+/// Parallel path: split into `threads` contiguous chunks, sort each
+/// with `total_cmp` via [`updp_core::parallel::par_map_indexed_threads`],
+/// then merge runs pairwise (also in parallel) until one remains.
+/// **Bit-identity lemma (DESIGN.md §12):** `total_cmp` is a total
+/// order in which elements that compare equal have identical bit
+/// patterns, so every correct sort of the same multiset — serial,
+/// chunked, any merge-tree shape — produces the identical byte
+/// sequence. `merge_sorted_f64` is the same proptest-pinned merge the
+/// append path uses.
+pub fn sorted_copy_threads(data: &[f64], threads: usize) -> Vec<f64> {
+    let n = data.len();
+    if threads <= 1 || n < 2 {
+        let mut v = data.to_vec();
+        v.sort_by(f64::total_cmp);
+        return v;
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let pieces = n.div_ceil(chunk);
+    let mut runs: Vec<Vec<f64>> =
+        updp_core::parallel::par_map_indexed_threads(threads, pieces, |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(n);
+            let mut run = data[start..end].to_vec();
+            run.sort_by(f64::total_cmp);
+            run
+        });
+    while runs.len() > 1 {
+        let pairs = runs.len() / 2;
+        let mut next = {
+            let runs_ref = &runs;
+            updp_core::parallel::par_map_indexed_threads(threads, pairs, |i| {
+                merge_sorted_f64(&runs_ref[2 * i], &runs_ref[2 * i + 1])
+            })
+        };
+        if runs.len() % 2 == 1 {
+            next.push(runs.pop().expect("odd run count implies non-empty"));
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
 
 /// Lazily-built, thread-safe artifacts of one `f64` column.
 ///
@@ -67,6 +148,13 @@ pub struct ColumnCache {
     sorted: OnceLock<Arc<Vec<f64>>>,
     grids: RwLock<BTreeMap<u64, (u64, Arc<SortedInts>)>>,
     stamp: AtomicU64,
+    gaps: RwLock<Option<Arc<GapSummary>>>,
+    /// Whether [`ColumnCache::gap_summary`] may build and serve the
+    /// snapshot-derived pair-gap summary. Off by default: the summary
+    /// path changes which coins consumers draw, so it must be enabled
+    /// explicitly ([`PreparedDataset::with_gap_summaries`]) and never
+    /// inferred from cache presence.
+    gaps_enabled: bool,
 }
 
 impl ColumnCache {
@@ -85,6 +173,36 @@ impl ColumnCache {
     /// triggers a build).
     pub fn has_sorted(&self) -> bool {
         self.sorted.get().is_some()
+    }
+
+    /// Whether a gap summary has been built (diagnostic; never
+    /// triggers a build; a poisoned slot reads as absent).
+    pub fn has_gap_summary(&self) -> bool {
+        self.gaps.read().is_ok_and(|slot| slot.is_some())
+    }
+
+    /// The cached pair-gap summary for this column, building it on
+    /// first use — or `None` when the summary path is not enabled.
+    ///
+    /// Poison-degrading like `grids` (updp-lint R3, DESIGN.md §6): the
+    /// summary is a pure function of the column (the pairing seed
+    /// derives from the column length, not from any mechanism RNG), so
+    /// racing builders produce identical summaries and a poisoned slot
+    /// just means this call's fresh build is served uncached.
+    pub fn gap_summary(&self, data: &[f64]) -> Option<Arc<GapSummary>> {
+        if !self.gaps_enabled {
+            return None;
+        }
+        if let Ok(slot) = self.gaps.read() {
+            if let Some(summary) = slot.as_ref() {
+                return Some(summary.clone());
+            }
+        }
+        let built = GapSummary::build_arc(data);
+        match self.gaps.write() {
+            Ok(mut slot) => Some(slot.get_or_insert_with(|| built).clone()),
+            Err(_) => Some(built),
+        }
     }
 
     /// Derives the cache of the `old ++ delta` successor column,
@@ -107,11 +225,16 @@ impl ColumnCache {
     fn successor(&self, delta: &[f64]) -> ColumnCache {
         let Some(parent_sorted) = self.sorted.get() else {
             // Grids force the sorted copy first (see `grid`), so a
-            // missing sorted copy implies no grids either.
-            return ColumnCache::new();
+            // missing sorted copy implies no grids either. The gap
+            // summary is never carried (the pairing permutation is a
+            // function of the column *length*, which the append just
+            // changed), but the opt-in flag persists.
+            return ColumnCache {
+                gaps_enabled: self.gaps_enabled,
+                ..ColumnCache::default()
+            };
         };
-        let mut sorted_delta = delta.to_vec();
-        sorted_delta.sort_by(f64::total_cmp);
+        let sorted_delta = sorted_copy(delta);
         let merged = merge_sorted_f64(parent_sorted, &sorted_delta);
 
         // Freshest grids first; older buckets (typically retired by
@@ -149,6 +272,8 @@ impl ColumnCache {
             sorted: OnceLock::new(),
             grids: RwLock::new(grids),
             stamp,
+            gaps: RwLock::new(None),
+            gaps_enabled: self.gaps_enabled,
         };
         let _ = successor.sorted.set(Arc::new(merged));
         successor
@@ -156,11 +281,7 @@ impl ColumnCache {
 
     fn sorted(&self, data: &[f64]) -> Arc<Vec<f64>> {
         self.sorted
-            .get_or_init(|| {
-                let mut v = data.to_vec();
-                v.sort_by(f64::total_cmp);
-                Arc::new(v)
-            })
+            .get_or_init(|| Arc::new(sorted_copy(data)))
             .clone()
     }
 
@@ -262,12 +383,22 @@ impl<'a> ColumnView<'a> {
     pub fn sorted(&self) -> Arc<Vec<f64>> {
         match self.cache {
             Some(cache) => cache.sorted(self.data),
-            None => {
-                let mut v = self.data.to_vec();
-                v.sort_by(f64::total_cmp);
-                Arc::new(v)
-            }
+            None => Arc::new(sorted_copy(self.data)),
         }
+    }
+
+    /// The cached pair-gap summary, built on first use — `None` for
+    /// bare views and for caches that have not opted in via
+    /// [`PreparedDataset::with_gap_summaries`]. Consumers fork on this:
+    /// `None` keeps the historical per-call random pairing bit-for-bit.
+    pub fn gap_summary(&self) -> Option<Arc<GapSummary>> {
+        self.cache.and_then(|cache| cache.gap_summary(self.data))
+    }
+
+    /// Whether the attached cache holds a built gap summary (false for
+    /// bare views; never triggers a build) — a cache-effect diagnostic.
+    pub fn has_gap_summary(&self) -> bool {
+        self.cache.is_some_and(ColumnCache::has_gap_summary)
     }
 
     /// The sorted integer grid `round(x/bucket)` (cached per distinct
@@ -373,6 +504,7 @@ pub struct PreparedDataset {
     columns: Vec<Vec<f64>>,
     caches: Vec<ColumnCache>,
     version: u64,
+    gap_summaries: bool,
 }
 
 impl PreparedDataset {
@@ -383,7 +515,31 @@ impl PreparedDataset {
             columns,
             caches,
             version: 0,
+            gap_summaries: false,
         }
+    }
+
+    /// Enables the cache-legal pair-gap summary (DESIGN.md §12) on
+    /// every column of this snapshot and its appended successors.
+    ///
+    /// **This changes draw sequences**: quantile/IQR consumers served
+    /// a summary skip the per-call pairing shuffle, so their released
+    /// values differ from the historical path (equally valid draws of
+    /// the same mechanisms, and still fully deterministic per
+    /// `(snapshot, seed)`). The experiment suite therefore never calls
+    /// this; the serving registry opts in at registration.
+    #[must_use]
+    pub fn with_gap_summaries(mut self) -> Self {
+        for cache in &mut self.caches {
+            cache.gaps_enabled = true;
+        }
+        self.gap_summaries = true;
+        self
+    }
+
+    /// Whether the gap-summary path is enabled (diagnostic).
+    pub fn gap_summaries_enabled(&self) -> bool {
+        self.gap_summaries
     }
 
     /// Record dimension.
@@ -462,6 +618,7 @@ impl PreparedDataset {
             columns,
             caches,
             version: self.version + 1,
+            gap_summaries: self.gap_summaries,
         }
     }
 }

@@ -31,6 +31,11 @@
 //!   way.
 //! * `--log-json` — emit one structured JSON line per request on
 //!   stderr (the flight-recorder stream).
+//! * `--threads` — worker count for the deterministic parallel data
+//!   kernels (the cold sorted-copy build, DESIGN.md §12); sets
+//!   `UPDP_THREADS` for this process. `0`/unset: auto (available
+//!   parallelism). Released bytes are identical at any value — the §5
+//!   contract — so this is purely a performance knob.
 
 use updp_serve::{FlushPolicy, Ledger, Server, ServerConfig};
 
@@ -38,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: updp-serve [--addr HOST:PORT] [--ledger PATH] [--port-file PATH] \
          [--buffer-rows N] [--buffer-age-ms MS] [--workers N] [--max-conns N] \
-         [--no-metrics] [--log-json]"
+         [--no-metrics] [--log-json] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +79,12 @@ fn main() {
             }
             "--no-metrics" => config.metrics = false,
             "--log-json" => config.log_json = true,
+            "--threads" => {
+                let threads: usize = value("--threads").parse().unwrap_or_else(|_| usage());
+                // Before any worker thread exists, so the write is
+                // race-free; the kernels re-read it per build.
+                std::env::set_var(updp_core::parallel::THREADS_ENV, threads.to_string());
+            }
             _ => usage(),
         }
     }

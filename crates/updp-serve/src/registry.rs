@@ -409,7 +409,14 @@ impl Registry {
         let dataset = Arc::new(Dataset {
             name: name.into(),
             dim: columns.len(),
-            snapshot: RwLock::new(Arc::new(PreparedDataset::new(columns))),
+            // Serving opts in to the cache-legal pair-gap summary
+            // (DESIGN.md §12): warm quantile/IQR queries answer gap
+            // counts from a per-snapshot cached summary instead of an
+            // O(n) per-call scan. The experiment suite never opts in,
+            // so its outputs stay byte-identical to the historical
+            // path; serve-side draws are equally valid and stay fully
+            // deterministic per (snapshot, seed).
+            snapshot: RwLock::new(Arc::new(PreparedDataset::new(columns).with_gap_summaries())),
             pending: Mutex::new(Pending::default()),
         });
         shard.insert(name.into(), Arc::clone(&dataset));

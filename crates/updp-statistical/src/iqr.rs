@@ -14,7 +14,7 @@
 //! `(ε, δ)`-DP *and* converges at `α ∝ 1/(ε log n)` — exponentially
 //! slower in n. The `iqr` experiment measures exactly this gap.
 
-use crate::iqr_lower_bound::estimate_iqr_lower_bound;
+use crate::iqr_lower_bound::estimate_iqr_lower_bound_view;
 use rand::Rng;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::privacy::Epsilon;
@@ -65,7 +65,18 @@ pub fn estimate_iqr_view<R: Rng + ?Sized>(
         return estimate_iqr_view(rng, &ColumnView::cached(view.data(), &cache), epsilon, beta);
     }
     let data = view.data();
-    ensure_finite(data, "estimate_iqr input")?;
+    // With an opt-in pair-gap summary attached (DESIGN.md §12) the
+    // O(n) finiteness scan collapses to an O(1) check with the same
+    // error; without one, behavior is bit-identical to before.
+    match view.gap_summary() {
+        Some(summary) if summary.all_finite() => {}
+        Some(_) => {
+            return Err(UpdpError::NonFiniteInput {
+                context: "estimate_iqr input",
+            })
+        }
+        None => ensure_finite(data, "estimate_iqr input")?,
+    }
     let n = data.len();
     if n < MIN_N {
         return Err(UpdpError::InsufficientData {
@@ -82,7 +93,7 @@ pub fn estimate_iqr_view<R: Rng + ?Sized>(
     }
 
     let third = epsilon.scale(1.0 / 3.0);
-    let lb = estimate_iqr_lower_bound(rng, data, third, beta / 6.0)?;
+    let lb = estimate_iqr_lower_bound_view(rng, view, third, beta / 6.0)?;
     let bucket = (lb / n as f64).max(f64::MIN_POSITIVE);
 
     let q1 = real_quantile_view(rng, view, n / 4, bucket, third, beta / 6.0)?;

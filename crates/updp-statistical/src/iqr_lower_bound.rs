@@ -20,6 +20,7 @@ use rand::Rng;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::privacy::Epsilon;
 use updp_core::svt::{sparse_vector, DEFAULT_SVT_CAP};
+use updp_empirical::view::ColumnView;
 
 /// Floor for the returned scale: ~the smallest positive normal `f64`.
 /// Reaching it means the data is (privately indistinguishable from)
@@ -191,7 +192,69 @@ pub fn estimate_iqr_lower_bound<R: Rng + ?Sized>(
     }
 
     let gaps = pair_gaps(rng, data);
-    let n_prime = gaps.len() as f64;
+    Ok(iqr_lb_search(rng, gaps.len(), epsilon, |x| {
+        gaps.count_le(x)
+    }))
+}
+
+/// [`estimate_iqr_lower_bound`] over a [`ColumnView`].
+///
+/// When the view carries a cache-legal pair-gap summary (DESIGN.md
+/// §12, opt-in via `PreparedDataset::with_gap_summaries`), the per-call
+/// pairing shuffle and `O(n)` gap scan are replaced by the cached
+/// summary: finiteness is an O(1) check, counting queries are
+/// `O(log n)` binary searches, and the warm path does no per-call work
+/// linear in `n`. Validation order and error values match the bare
+/// path exactly. Because the summary path consumes **no** shuffle
+/// coins, its SVT draw sequence — and hence the released value —
+/// differs from the historical path; both are equally valid draws of
+/// Algorithm 7, and the summary path is bit-reproducible per
+/// `(snapshot, seed)`. Views without a summary defer to
+/// [`estimate_iqr_lower_bound`] bit-for-bit.
+pub fn estimate_iqr_lower_bound_view<R: Rng + ?Sized>(
+    rng: &mut R,
+    view: &ColumnView<'_>,
+    epsilon: Epsilon,
+    beta: f64,
+) -> Result<f64> {
+    let Some(summary) = view.gap_summary() else {
+        return estimate_iqr_lower_bound(rng, view.data(), epsilon, beta);
+    };
+    if !summary.all_finite() {
+        return Err(UpdpError::NonFiniteInput {
+            context: "estimate_iqr_lower_bound input",
+        });
+    }
+    if summary.records() < 4 {
+        return Err(UpdpError::InsufficientData {
+            required: 4,
+            actual: summary.records(),
+            context: "EstimateIQRLowerBound pairing",
+        });
+    }
+    if !(beta > 0.0 && beta < 1.0) {
+        return Err(UpdpError::InvalidParameter {
+            name: "beta",
+            reason: format!("must be in (0,1), got {beta}"),
+        });
+    }
+    Ok(iqr_lb_search(rng, summary.pairs(), epsilon, |x| {
+        summary.count_le(x)
+    }))
+}
+
+/// The two-SVT scale search of Algorithm 7 (lines 3–9), abstracted
+/// over the gap counting query so the per-call [`Gaps`] structure and
+/// the cached [`updp_empirical::gaps::GapSummary`] share one
+/// implementation. For a fixed `count_le` the draw sequence is exactly
+/// the historical inline code's.
+fn iqr_lb_search<R: Rng + ?Sized>(
+    rng: &mut R,
+    pairs: usize,
+    epsilon: Epsilon,
+    count_le: impl Fn(f64) -> usize,
+) -> f64 {
+    let n_prime = pairs as f64;
     let threshold = 3.0 * n_prime / 16.0;
     let half = epsilon.scale(0.5);
 
@@ -201,7 +264,7 @@ pub fn estimate_iqr_lower_bound<R: Rng + ?Sized>(
         rng,
         threshold,
         half,
-        |i| gaps.count_le(pow2(i as i32)) as f64,
+        |i| count_le(pow2(i as i32)) as f64,
         DEFAULT_SVT_CAP,
     );
 
@@ -210,7 +273,7 @@ pub fn estimate_iqr_lower_bound<R: Rng + ?Sized>(
         rng,
         -threshold,
         half,
-        |j| -(gaps.count_le(pow2(-(j as i32))) as f64),
+        |j| -(count_le(pow2(-(j as i32))) as f64),
         DEFAULT_SVT_CAP,
     );
 
@@ -220,7 +283,7 @@ pub fn estimate_iqr_lower_bound<R: Rng + ?Sized>(
     } else {
         pow2(-(down.index as i32))
     };
-    Ok(result.max(SCALE_FLOOR))
+    result.max(SCALE_FLOOR)
 }
 
 /// `2^k` as `f64`, saturating to avoid 0/∞ surprises far out.

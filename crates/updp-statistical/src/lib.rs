@@ -40,7 +40,9 @@ pub use estimator::{
     DEFAULT_BETA,
 };
 pub use iqr::{estimate_iqr, estimate_iqr_view, IqrEstimate};
-pub use iqr_lower_bound::{estimate_iqr_lower_bound, pair_gaps, Gaps};
+pub use iqr_lower_bound::{
+    estimate_iqr_lower_bound, estimate_iqr_lower_bound_view, pair_gaps, Gaps,
+};
 pub use mean::{
     estimate_mean, estimate_mean_with_bucket, estimate_mean_with_subsample, MeanEstimate,
 };

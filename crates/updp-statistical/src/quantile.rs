@@ -16,7 +16,7 @@
 //! converges at `α ∝ 1/(εn·θ) + 1/√n` for any `q` bounded away from
 //! {0, 1}.
 
-use crate::iqr_lower_bound::estimate_iqr_lower_bound;
+use crate::iqr_lower_bound::{estimate_iqr_lower_bound, estimate_iqr_lower_bound_view};
 use rand::Rng;
 use updp_core::error::{ensure_finite, Result, UpdpError};
 use updp_core::privacy::Epsilon;
@@ -41,7 +41,10 @@ pub const MIN_N: usize = 16;
 
 fn validate(data: &[f64], q: f64, beta: f64) -> Result<usize> {
     ensure_finite(data, "estimate_quantile input")?;
-    let n = data.len();
+    validate_params(data.len(), q, beta)
+}
+
+fn validate_params(n: usize, q: f64, beta: f64) -> Result<usize> {
     if n < MIN_N {
         return Err(UpdpError::InsufficientData {
             required: MIN_N,
@@ -78,10 +81,13 @@ pub fn estimate_quantile<R: Rng + ?Sized>(
 
 /// [`estimate_quantile`] over a [`ColumnView`]: with a cached view the
 /// discretized grid for the privately-chosen bucket is built once per
-/// `(dataset version, bucket)` and reused across calls — turning
-/// repeated same-dataset quantile queries from `O(n log n)` each into
-/// `O(n log n)` once (the per-query work stays `O(n)` for the pair-gap
-/// scan). Bit-identical to [`estimate_quantile`] for the same seed.
+/// `(dataset version, bucket)` and reused across calls. When the view
+/// additionally carries a pair-gap summary (DESIGN.md §12, opt-in),
+/// the per-call `O(n)` finiteness scan and pair-gap scan are replaced
+/// by O(1)/O(log n) summary queries, so warm repeat queries do no
+/// per-call work linear in `n` outside the mechanism itself.
+/// Bit-identical to [`estimate_quantile`] for the same seed whenever
+/// no summary is attached (the default).
 pub fn estimate_quantile_view<R: Rng + ?Sized>(
     rng: &mut R,
     view: &ColumnView<'_>,
@@ -90,9 +96,17 @@ pub fn estimate_quantile_view<R: Rng + ?Sized>(
     beta: f64,
 ) -> Result<QuantileEstimate> {
     let data = view.data();
-    let n = validate(data, q, beta)?;
+    let n = match view.gap_summary() {
+        Some(summary) if summary.all_finite() => validate_params(data.len(), q, beta)?,
+        Some(_) => {
+            return Err(UpdpError::NonFiniteInput {
+                context: "estimate_quantile input",
+            })
+        }
+        None => validate(data, q, beta)?,
+    };
     let half = epsilon.scale(0.5);
-    let lb = estimate_iqr_lower_bound(rng, data, half, beta / 2.0)?;
+    let lb = estimate_iqr_lower_bound_view(rng, view, half, beta / 2.0)?;
     let bucket = (lb / n as f64).max(f64::MIN_POSITIVE);
     let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
     let estimate = real_quantile_view(rng, view, rank, bucket, half, beta / 2.0)?;

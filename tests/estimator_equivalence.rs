@@ -264,3 +264,70 @@ fn cached_views_share_artifacts_without_changing_results() {
         .unwrap();
     assert_eq!(local.primary().to_bits(), a.primary().to_bits());
 }
+
+#[test]
+fn gap_summary_mode_is_deterministic_and_warm_equals_cold() {
+    // The serving engine opts its snapshots into the cached pair-gap
+    // summary (DESIGN.md §12). Summary-mode releases draw no pairing
+    // coins, so they legitimately differ from the bare path — but they
+    // must still be (a) repeat-deterministic at a fixed seed, (b)
+    // identical warm vs cold (the cached summary is a pure function of
+    // the column), and (c) strictly confined to opted-in snapshots.
+    let data = lognormal(8_000, 0xF);
+    let params = EstimateParams::new(eps(1.0)).with_beta(0.1);
+    let opted = PreparedDataset::new(vec![data.clone()]).with_gap_summaries();
+    let view = opted.view();
+    assert!(
+        !view.col(0).has_gap_summary(),
+        "summary must be lazy, not built at registration"
+    );
+    for seed in [1u64, 7, 0xDECAF] {
+        let cold = UniversalIqr
+            .estimate(&mut seeded(seed), &view, &params)
+            .unwrap();
+        assert!(
+            view.col(0).has_gap_summary(),
+            "first IQR query must warm the gap summary"
+        );
+        let warm = UniversalIqr
+            .estimate(&mut seeded(seed), &view, &params)
+            .unwrap();
+        assert_eq!(
+            cold.primary().to_bits(),
+            warm.primary().to_bits(),
+            "summary-mode warm diverged from cold at seed {seed}"
+        );
+        // A second opted-in snapshot of the same column reproduces the
+        // release exactly: the summary carries no hidden per-instance
+        // state.
+        let replay = UniversalIqr
+            .estimate(
+                &mut seeded(seed),
+                &PreparedDataset::new(vec![data.clone()])
+                    .with_gap_summaries()
+                    .view(),
+                &params,
+            )
+            .unwrap();
+        assert_eq!(replay.primary().to_bits(), cold.primary().to_bits());
+    }
+    // Quantile routes through the same summary-backed IQR lower bound.
+    let q_params = params.clone().with("q", 0.75);
+    let q_cold = UniversalQuantile
+        .estimate(&mut seeded(5), &view, &q_params)
+        .unwrap();
+    let q_warm = UniversalQuantile
+        .estimate(&mut seeded(5), &view, &q_params)
+        .unwrap();
+    assert_eq!(q_cold.primary().to_bits(), q_warm.primary().to_bits());
+    // Default snapshots never grow a summary, even after queries.
+    let plain = PreparedDataset::new(vec![data]);
+    let plain_view = plain.view();
+    UniversalIqr
+        .estimate(&mut seeded(3), &plain_view, &params)
+        .unwrap();
+    assert!(
+        !plain_view.col(0).has_gap_summary(),
+        "default snapshots must keep the historical draw path"
+    );
+}
