@@ -1,9 +1,10 @@
 //! Randomness plumbing.
 //!
 //! Every mechanism takes `&mut impl Rng` so that experiments and tests can
-//! supply deterministic, per-trial seeded generators while applications
-//! use OS entropy. Helper functions here derive independent child seeds
-//! from a master seed (SplitMix64), which keeps many-trial experiments
+//! supply deterministic, per-trial seeded generators; an application that
+//! wants OS entropy seeds one at its own boundary, outside determinism
+//! scope. Helper functions here derive independent child seeds from a
+//! master seed (SplitMix64), which keeps many-trial experiments
 //! reproducible without correlated streams.
 //!
 //! Security note: a DP deployment should draw noise from a CSPRNG. The
@@ -21,11 +22,6 @@ use rand::SeedableRng;
 /// Creates a deterministic RNG from a 64-bit seed.
 pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
-}
-
-/// Creates an RNG from OS entropy.
-pub fn from_entropy() -> StdRng {
-    StdRng::from_entropy()
 }
 
 /// SplitMix64 step: derives a well-mixed child seed from `state`.

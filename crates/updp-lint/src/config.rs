@@ -27,6 +27,22 @@ pub struct RuleScope {
     pub include_bins: bool,
 }
 
+/// One `paths`/`exclude` array element with its source position, kept
+/// for audit-time scope validation: a path that matches no file on
+/// disk, or a duplicate entry, silently distorts a rule's scope and
+/// is diagnosed by the engine (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct PathEntry {
+    /// Section the entry came from (`global` or `rule.R<n>`).
+    pub section: String,
+    /// `paths` or `exclude`.
+    pub key: String,
+    pub value: String,
+    /// 1-based `lint.toml` line of the array's key (multi-line array
+    /// elements share the key's line).
+    pub line: usize,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -37,6 +53,10 @@ pub struct Config {
     /// the config uses [`RuleScope::default`] (whole tree, no tests,
     /// no bins).
     pub rules: BTreeMap<String, RuleScope>,
+    /// Every path array element with its source line (validation).
+    pub path_entries: Vec<PathEntry>,
+    /// Every `[section]` header with its source line (validation).
+    pub sections: Vec<(String, usize)>,
 }
 
 impl Config {
@@ -84,6 +104,7 @@ impl Config {
                     }
                 }
                 section = Some(name.to_string());
+                cfg.sections.push((name.to_string(), lineno));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -92,7 +113,16 @@ impl Config {
             let (key, value) = (key.trim(), value.trim());
             match section.as_deref() {
                 Some("global") => match key {
-                    "exclude" => cfg.global_exclude = parse_string_array(value, lineno)?,
+                    "exclude" => {
+                        cfg.global_exclude = parse_string_array(value, lineno)?;
+                        record_entries(
+                            &mut cfg.path_entries,
+                            "global",
+                            key,
+                            &cfg.global_exclude,
+                            lineno,
+                        );
+                    }
                     _ => {
                         return Err(format!(
                             "lint.toml:{lineno}: unknown key `{key}` in [global]"
@@ -101,10 +131,29 @@ impl Config {
                 },
                 Some(rule) => {
                     let id = rule.trim_start_matches("rule.").to_string();
+                    let section_name = rule.to_string();
                     let scope = cfg.rules.entry(id).or_default();
                     match key {
-                        "paths" => scope.paths = parse_string_array(value, lineno)?,
-                        "exclude" => scope.exclude = parse_string_array(value, lineno)?,
+                        "paths" => {
+                            scope.paths = parse_string_array(value, lineno)?;
+                            record_entries(
+                                &mut cfg.path_entries,
+                                &section_name,
+                                key,
+                                &scope.paths,
+                                lineno,
+                            );
+                        }
+                        "exclude" => {
+                            scope.exclude = parse_string_array(value, lineno)?;
+                            record_entries(
+                                &mut cfg.path_entries,
+                                &section_name,
+                                key,
+                                &scope.exclude,
+                                lineno,
+                            );
+                        }
                         "include_tests" => scope.include_tests = parse_bool(value, lineno)?,
                         "include_bins" => scope.include_bins = parse_bool(value, lineno)?,
                         _ => {
@@ -160,6 +209,25 @@ fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
         .ok_or_else(|| {
             format!("lint.toml:{lineno}: expected a double-quoted string, got `{value}`")
         })
+}
+
+/// Records each parsed array element with its source position for
+/// audit-time scope validation.
+fn record_entries(
+    entries: &mut Vec<PathEntry>,
+    section: &str,
+    key: &str,
+    values: &[String],
+    lineno: usize,
+) {
+    for value in values {
+        entries.push(PathEntry {
+            section: section.to_string(),
+            key: key.to_string(),
+            value: value.clone(),
+            line: lineno,
+        });
+    }
 }
 
 fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
@@ -233,6 +301,33 @@ mod tests {
         assert!(
             Config::parse("[rule.R1]\npaths = [\n  \"a/b\",\n").is_err(),
             "unterminated"
+        );
+    }
+
+    #[test]
+    fn records_path_entries_and_sections_with_lines() {
+        let cfg = Config::parse(
+            "[global]\nexclude = [\"target\"]\n\n[rule.R1]\npaths = [\n  \"a/b\",\n  \"a/b\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.sections,
+            vec![("global".to_string(), 1), ("rule.R1".to_string(), 4)]
+        );
+        let entries: Vec<(&str, &str, &str, usize)> = cfg
+            .path_entries
+            .iter()
+            .map(|e| (e.section.as_str(), e.key.as_str(), e.value.as_str(), e.line))
+            .collect();
+        assert_eq!(
+            entries,
+            vec![
+                ("global", "exclude", "target", 2),
+                // Duplicates are preserved verbatim — validation wants
+                // to see them.
+                ("rule.R1", "paths", "a/b", 5),
+                ("rule.R1", "paths", "a/b", 5),
+            ]
         );
     }
 

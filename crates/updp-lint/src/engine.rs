@@ -1,10 +1,14 @@
 //! The audit engine: walks the workspace, applies each catalog rule
-//! in its configured scope, resolves `// updp-lint: allow(...)`
-//! escape hatches, and produces `file:line` diagnostics.
+//! in its configured scope, runs the cross-file semantic pass
+//! (DESIGN.md §13), resolves `// updp-lint: allow(...)` escape
+//! hatches, and produces `file:line` diagnostics.
 
 use crate::config::{Config, RuleScope};
 use crate::lexer::{lex, Lexed, Token};
+use crate::parser::{parse_file, ParsedFile};
 use crate::rules::{self, CATALOG};
+use crate::semantic;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
 
@@ -34,7 +38,7 @@ impl fmt::Display for Diagnostic {
 
 /// How a file's target class maps onto rule scoping.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum FileClass {
+pub(crate) enum FileClass {
     /// Library source — fully audited.
     Lib,
     /// Executable-adjacent source (`src/bin/`, `src/main.rs`,
@@ -46,7 +50,7 @@ enum FileClass {
     Test,
 }
 
-fn classify(rel_path: &str) -> FileClass {
+pub(crate) fn classify(rel_path: &str) -> FileClass {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.contains(&"tests") {
         return FileClass::Test;
@@ -67,7 +71,7 @@ fn path_in(rel_path: &str, prefixes: &[String]) -> bool {
     })
 }
 
-fn scope_covers(scope: &RuleScope, rel_path: &str, class: FileClass) -> bool {
+pub(crate) fn scope_covers(scope: &RuleScope, rel_path: &str, class: FileClass) -> bool {
     if !scope.paths.is_empty() && !path_in(rel_path, &scope.paths) {
         return false;
     }
@@ -178,7 +182,7 @@ fn allow_misuse(rel_path: &str, line: u32, message: String) -> Diagnostic {
 
 /// Marks token indices belonging to `#[cfg(test)]` / `#[test]` items
 /// so rules with `include_tests = false` skip in-file test code.
-fn test_item_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_item_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -290,65 +294,116 @@ fn skip_item(tokens: &[Token], start: usize) -> usize {
 
 /// Audits one file's source text under `config`, as `rel_path`
 /// (workspace-relative, `/`-separated). Pure: no filesystem access,
-/// which is what the golden-fixture tests build on.
+/// which is what the golden-fixture tests build on. Semantic rules see
+/// a one-file "workspace" — enough for fixtures, while the CLI path
+/// ([`audit_workspace`]) gives them the full tree.
 pub fn audit_source(rel_path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
-    let class = classify(rel_path);
-    let lexed = lex(source);
-    let mut diagnostics = Vec::new();
-    let mut allows = collect_allows(rel_path, &lexed, &mut diagnostics);
-    let mask = test_item_mask(&lexed.tokens);
-    let non_test_tokens: Vec<Token> = lexed
-        .tokens
-        .iter()
-        .zip(&mask)
-        .filter(|(_, &in_test)| !in_test)
-        .map(|(t, _)| t.clone())
-        .collect();
+    audit_files(&[(rel_path.to_string(), source.to_string())], config).diagnostics
+}
 
-    for rule in &CATALOG {
-        let scope = config.scope(rule.id);
-        if !scope_covers(&scope, rel_path, class) {
-            continue;
-        }
-        let tokens: &[Token] = if scope.include_tests {
-            &lexed.tokens
-        } else {
-            &non_test_tokens
-        };
-        for f in rules::scan(rule, tokens, &lexed.comments) {
-            let allowed = allows
-                .iter_mut()
-                .find(|a| a.rule_id == rule.id && a.target_line == f.line);
-            if let Some(a) = allowed {
-                a.used = true;
+/// Audits a set of `(rel_path, source)` files as one workspace: the
+/// per-file rules R1–R6 first, then the cross-file semantic pass
+/// (R7–R10) over all parsed files at once, then a unified
+/// unused-allow sweep. Pure; the filesystem is touched only by
+/// [`audit_workspace`].
+pub fn audit_files(files: &[(String, String)], config: &Config) -> AuditReport {
+    let mut diagnostics = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::with_capacity(files.len());
+    let mut allows_by_file: Vec<Vec<Allow>> = Vec::with_capacity(files.len());
+
+    for (rel_path, source) in files {
+        let class = classify(rel_path);
+        let lexed = lex(source);
+        let allows = collect_allows(rel_path, &lexed, &mut diagnostics);
+        allows_by_file.push(allows);
+        let allows = allows_by_file.last_mut().expect("just pushed");
+        let mask = test_item_mask(&lexed.tokens);
+        let non_test_tokens: Vec<Token> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &in_test)| !in_test)
+            .map(|(t, _)| t.clone())
+            .collect();
+
+        for rule in &CATALOG {
+            if rule.semantic {
+                // Cross-file rules run once over the whole set below.
                 continue;
             }
-            diagnostics.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: f.line,
-                rule_id: rule.id.into(),
-                rule_name: rule.name.into(),
-                message: f.message,
-                contract: rule.contract.into(),
-            });
+            let scope = config.scope(rule.id);
+            if !scope_covers(&scope, rel_path, class) {
+                continue;
+            }
+            let tokens: &[Token] = if scope.include_tests {
+                &lexed.tokens
+            } else {
+                &non_test_tokens
+            };
+            for f in rules::scan(rule, tokens, &lexed.comments) {
+                let allowed = allows
+                    .iter_mut()
+                    .find(|a| a.rule_id == rule.id && a.target_line == f.line);
+                if let Some(a) = allowed {
+                    a.used = true;
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: f.line,
+                    rule_id: rule.id.into(),
+                    rule_name: rule.name.into(),
+                    message: f.message,
+                    contract: rule.contract.into(),
+                });
+            }
         }
+
+        parsed.push(parse_file(rel_path, lexed.tokens, mask));
+    }
+
+    for finding in semantic::scan_workspace(&parsed, config) {
+        let fi = parsed
+            .iter()
+            .position(|p| p.path == finding.path)
+            .expect("semantic findings only cite audited files");
+        let allowed = allows_by_file[fi]
+            .iter_mut()
+            .find(|a| a.rule_id == finding.rule.id && a.target_line == finding.line);
+        if let Some(a) = allowed {
+            a.used = true;
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            path: finding.path,
+            line: finding.line,
+            rule_id: finding.rule.id.into(),
+            rule_name: finding.rule.name.into(),
+            message: finding.message,
+            contract: finding.rule.contract.into(),
+        });
     }
 
     // An allow that suppressed nothing is itself a violation: stale
     // exemptions must not linger as invisible holes in the audit.
-    for a in allows.iter().filter(|a| !a.used) {
-        diagnostics.push(allow_misuse(
-            rel_path,
-            a.comment_line,
-            format!(
-                "unused escape hatch for {} — the rule no longer fires on line {}; delete the allow",
-                a.rule_id, a.target_line
-            ),
-        ));
+    for (file, allows) in parsed.iter().zip(&allows_by_file) {
+        for a in allows.iter().filter(|a| !a.used) {
+            diagnostics.push(allow_misuse(
+                &file.path,
+                a.comment_line,
+                format!(
+                    "unused escape hatch for {} — the rule no longer fires on line {}; delete the allow",
+                    a.rule_id, a.target_line
+                ),
+            ));
+        }
     }
 
     diagnostics.sort_by(|a, b| (&a.path, a.line, &a.rule_id).cmp(&(&b.path, b.line, &b.rule_id)));
-    diagnostics
+    AuditReport {
+        diagnostics,
+        files_audited: files.len(),
+    }
 }
 
 /// Result of a whole-workspace audit.
@@ -358,8 +413,76 @@ pub struct AuditReport {
     pub files_audited: usize,
 }
 
+fn config_diag(line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        path: "lint.toml".into(),
+        line: line as u32,
+        rule_id: "config".into(),
+        rule_name: "scope-validation".into(),
+        message,
+        contract: "DESIGN.md §13".into(),
+    }
+}
+
+/// Validates the parsed config against the audited file set: a rule
+/// `paths` entry matching no file, a duplicate array entry, or a
+/// `[rule.R<n>]` section for a rule not in the catalog all silently
+/// distort the audited surface, so each becomes a diagnostic at its
+/// `lint.toml` line. Only `audit_workspace` calls this — single-file
+/// fixtures would otherwise drown in spurious no-match noise.
+pub fn validate_config(config: &Config, rel_paths: &[String]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (section, line) in &config.sections {
+        if let Some(id) = section.strip_prefix("rule.") {
+            if rules::find(id).is_none() {
+                out.push(config_diag(
+                    *line,
+                    format!(
+                        "[{section}] configures unknown rule `{id}` (known: {}) — dead \
+                         config suggests a typo or a removed rule",
+                        CATALOG.map(|r| r.id).join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    for e in &config.path_entries {
+        // Only rule `paths` arrays must match files: excludes may
+        // legitimately name build dirs (`target`) absent on a clean
+        // checkout.
+        if e.key == "paths"
+            && !rel_paths
+                .iter()
+                .any(|p| path_in(p, std::slice::from_ref(&e.value)))
+        {
+            out.push(config_diag(
+                e.line,
+                format!(
+                    "[{}] paths entry `{}` matches no audited file — a stale scope \
+                     silently narrows the audit; fix or delete the entry",
+                    e.section, e.value
+                ),
+            ));
+        }
+    }
+    let mut seen: BTreeSet<(&str, &str, &str)> = BTreeSet::new();
+    for e in &config.path_entries {
+        if !seen.insert((&e.section, &e.key, &e.value)) {
+            out.push(config_diag(
+                e.line,
+                format!(
+                    "duplicate `{}` entry `{}` in [{}] — delete the repeat",
+                    e.key, e.value, e.section
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Audits every `.rs` file under `root`, reading scoping from
-/// `<root>/lint.toml`.
+/// `<root>/lint.toml`. Config-scope validation runs here too: stale
+/// or duplicated path entries are diagnostics like any other.
 pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
     let config_path = root.join("lint.toml");
     let text = std::fs::read_to_string(&config_path)
@@ -370,17 +493,23 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
     collect_rs_files(root, root, &config.global_exclude, &mut files)?;
     files.sort();
 
-    let mut diagnostics = Vec::new();
-    let files_audited = files.len();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
-        diagnostics.extend(audit_source(&rel, &source, &config));
+        sources.push((rel, source));
     }
-    Ok(AuditReport {
-        diagnostics,
-        files_audited,
-    })
+    let rel_paths: Vec<String> = sources.iter().map(|(p, _)| p.clone()).collect();
+
+    let mut report = audit_files(&sources, &config);
+    let mut cfg_diags = validate_config(&config, &rel_paths);
+    if !cfg_diags.is_empty() {
+        report.diagnostics.append(&mut cfg_diags);
+        report
+            .diagnostics
+            .sort_by(|a, b| (&a.path, a.line, &a.rule_id).cmp(&(&b.path, b.line, &b.rule_id)));
+    }
+    Ok(report)
 }
 
 fn collect_rs_files(

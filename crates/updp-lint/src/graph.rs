@@ -1,0 +1,296 @@
+//! The workspace model and intra-crate call graph the semantic rules
+//! walk (DESIGN.md §13).
+//!
+//! Call-graph soundness is deliberately asymmetric. Edges are added
+//! only where the lexical evidence is unambiguous: `self.m()` resolved
+//! within the receiver's own `impl` block, `Type::m()` path calls to a
+//! known impl, and free-function calls whose name maps to exactly one
+//! `fn` in the same crate. Common method names (`len`, `read`,
+//! `flush`) on arbitrary receivers produce *no* edge — a false edge
+//! would manufacture lock-order or budget-flow violations out of thin
+//! air, while a missing edge only narrows what the cross-file rules
+//! can prove (the per-site checks still apply). §13.2 documents this
+//! under-approximation.
+
+use crate::parser::{FnItem, ParsedFile};
+use std::collections::BTreeMap;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CallKind {
+    /// `self.m(…)` — resolvable within the enclosing impl type.
+    SelfMethod,
+    /// `recv.m(…)` on any other receiver — never resolved to an edge.
+    Method,
+    /// `f(…)` — resolved when `f` names exactly one fn in the crate.
+    Free,
+    /// `Type::m(…)` — resolved against known impl blocks.
+    Path,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub kind: CallKind,
+    /// Callee name (method or function ident).
+    pub name: String,
+    /// `Type` of a [`CallKind::Path`] call.
+    pub qualifier: Option<String>,
+    /// Token index of the callee-name token.
+    pub tok: usize,
+    pub line: u32,
+}
+
+/// Identifier keywords that look like free calls lexically
+/// (`if (…)`, `while (…)`) but are control flow.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "match", "for", "return", "loop", "unsafe", "else", "in", "as", "move", "let",
+    "fn", "where",
+];
+
+/// Extracts the call sites inside `f`'s body (token indices are into
+/// `file.tokens`).
+pub fn calls_in(file: &ParsedFile, f: &FnItem) -> Vec<Call> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for i in f.body.0..f.body.1.min(tokens.len()) {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+        if prev_dot {
+            let kind = if i >= 2 && tokens[i - 2].ident() == Some("self") {
+                CallKind::SelfMethod
+            } else {
+                CallKind::Method
+            };
+            out.push(Call {
+                kind,
+                name: name.to_string(),
+                qualifier: None,
+                tok: i,
+                line: tokens[i].line,
+            });
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `fn f(` of a nested item is a definition, not a call.
+        if i > 0 && tokens[i - 1].ident() == Some("fn") {
+            continue;
+        }
+        let path_call = i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':');
+        if path_call {
+            let qualifier = (i >= 3)
+                .then(|| tokens[i - 3].ident().map(str::to_string))
+                .flatten();
+            out.push(Call {
+                kind: CallKind::Path,
+                name: name.to_string(),
+                qualifier,
+                tok: i,
+                line: tokens[i].line,
+            });
+        } else {
+            out.push(Call {
+                kind: CallKind::Free,
+                name: name.to_string(),
+                qualifier: None,
+                tok: i,
+                line: tokens[i].line,
+            });
+        }
+    }
+    out
+}
+
+/// A function's identity in the workspace: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+/// The parsed workspace plus its resolvable call edges.
+pub struct Workspace<'a> {
+    pub files: Vec<&'a ParsedFile>,
+    /// Per function: its extracted call sites.
+    pub calls: BTreeMap<FnId, Vec<Call>>,
+    /// `crate → method name → impl type → FnId` (only unambiguous
+    /// single-impl entries survive).
+    methods: BTreeMap<(String, String, String), Vec<FnId>>,
+    /// `crate → free/assoc fn name → FnIds` with that bare name.
+    by_name: BTreeMap<(String, String), Vec<FnId>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the model over the given parsed files (typically the
+    /// files one rule's scope selected).
+    pub fn build<I: IntoIterator<Item = &'a ParsedFile>>(files: I) -> Workspace<'a> {
+        let files: Vec<&'a ParsedFile> = files.into_iter().collect();
+        let mut calls = BTreeMap::new();
+        let mut methods: BTreeMap<(String, String, String), Vec<FnId>> = BTreeMap::new();
+        let mut by_name: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let krate = file.crate_name().to_string();
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id: FnId = (fi, gi);
+                calls.insert(id, calls_in(file, f));
+                if let Some(t) = &f.impl_type {
+                    methods
+                        .entry((krate.clone(), t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                by_name
+                    .entry((krate.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        Workspace {
+            files,
+            calls,
+            methods,
+            by_name,
+        }
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// Resolves one call site inside `caller` to a callee, using only
+    /// unambiguous evidence (see module docs). Returns `None` for
+    /// anything that cannot be pinned to exactly one function.
+    pub fn resolve(&self, caller: FnId, call: &Call) -> Option<FnId> {
+        let file = &self.files[caller.0];
+        let krate = file.crate_name().to_string();
+        match call.kind {
+            CallKind::SelfMethod => {
+                let impl_type = file.fns[caller.1].impl_type.clone()?;
+                self.unique(self.methods.get(&(krate, impl_type, call.name.clone())))
+            }
+            CallKind::Path => {
+                let q = call.qualifier.clone()?;
+                self.unique(self.methods.get(&(krate, q, call.name.clone())))
+            }
+            CallKind::Free => self.unique(
+                self.by_name
+                    .get(&(krate, call.name.clone()))
+                    .filter(|ids| ids.iter().all(|id| self.fn_item(*id).impl_type.is_none())),
+            ),
+            CallKind::Method => None,
+        }
+    }
+
+    fn unique(&self, ids: Option<&Vec<FnId>>) -> Option<FnId> {
+        match ids {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// All `(caller, call, callee)` resolved edges.
+    pub fn edges(&self) -> Vec<(FnId, &Call, FnId)> {
+        let mut out = Vec::new();
+        for (&caller, calls) in &self.calls {
+            for call in calls {
+                if let Some(callee) = self.resolve(caller, call) {
+                    if callee != caller {
+                        out.push((caller, call, callee));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn parsed(path: &str, src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let n = lexed.tokens.len();
+        parse_file(path, lexed.tokens, vec![false; n])
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_the_impl() {
+        let f = parsed(
+            "crates/c/src/a.rs",
+            "struct S;\nimpl S {\n  fn outer(&self) { self.inner(); other.inner(); }\n  fn inner(&self) {}\n}\n",
+        );
+        let files = [f];
+        let ws = Workspace::build(&files);
+        let edges = ws.edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(ws.fn_item(edges[0].2).qual_name(), "S::inner");
+    }
+
+    #[test]
+    fn free_calls_resolve_only_when_unique_in_crate() {
+        let a = parsed("crates/c/src/a.rs", "fn caller() { helper(); }\n");
+        let b = parsed("crates/c/src/b.rs", "pub fn helper() {}\n");
+        let files = [a, b];
+        let ws = Workspace::build(&files);
+        assert_eq!(ws.edges().len(), 1);
+
+        // Ambiguous name (two fns) → no edge.
+        let a = parsed(
+            "crates/c/src/a.rs",
+            "fn caller() { helper(); }\nfn helper() {}\n",
+        );
+        let b = parsed("crates/c/src/b.rs", "pub fn helper() {}\n");
+        let files = [a, b];
+        let ws = Workspace::build(&files);
+        assert!(ws.edges().is_empty());
+
+        // Same name in a *different* crate → no edge either.
+        let a = parsed("crates/c/src/a.rs", "fn caller() { helper(); }\n");
+        let b = parsed("crates/d/src/b.rs", "pub fn helper() {}\n");
+        let files = [a, b];
+        let ws = Workspace::build(&files);
+        assert!(ws.edges().is_empty());
+    }
+
+    #[test]
+    fn common_method_names_on_foreign_receivers_make_no_edges() {
+        let f = parsed(
+            "crates/c/src/a.rs",
+            "struct S;\nimpl S {\n  fn len(&self) -> usize { 0 }\n}\nfn g(v: Vec<u32>) { v.len(); }\n",
+        );
+        let files = [f];
+        let ws = Workspace::build(&files);
+        assert!(ws.edges().is_empty(), "v.len() must not resolve to S::len");
+    }
+
+    #[test]
+    fn path_calls_resolve_to_known_impls() {
+        let f = parsed(
+            "crates/c/src/a.rs",
+            "struct S;\nimpl S {\n  fn make() -> S { S }\n}\nfn g() { let s = S::make(); }\n",
+        );
+        let files = [f];
+        let ws = Workspace::build(&files);
+        let edges = ws.edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(ws.fn_item(edges[0].2).qual_name(), "S::make");
+    }
+
+    #[test]
+    fn control_flow_keywords_are_not_calls() {
+        let f = parsed(
+            "crates/c/src/a.rs",
+            "fn g(x: bool) { if (x) { } while (x) { } match (x) { _ => {} } }\n",
+        );
+        let files = [f];
+        let ws = Workspace::build(&files);
+        let calls = ws.calls.values().flatten().count();
+        assert_eq!(calls, 0);
+    }
+}

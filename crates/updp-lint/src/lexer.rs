@@ -5,7 +5,8 @@
 //! `==` — so the one thing the lexer must get exactly right is telling
 //! code apart from non-code: line comments, (nested) block comments,
 //! string literals with escapes, raw strings `r#"…"#` with any hash
-//! count, byte and raw-byte strings, char literals, and lifetimes.
+//! count, byte / raw-byte / C-string literals (`b"…"`, `br"…"`,
+//! `c"…"`, `cr"…"`), char and byte-char literals, and lifetimes.
 //! A stray `"Instant::now"` inside a string or a `// thread_rng` in a
 //! comment must never produce a diagnostic, and a real violation must
 //! never hide behind one. Comments are kept (with position info)
@@ -149,6 +150,16 @@ impl Lexer {
                 'b' if self.peek(1) == Some('\'') => {
                     self.bump();
                     self.char_or_lifetime(line);
+                }
+                'c' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, line);
+                }
+                'c' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_prefixed(line);
                 }
                 '\'' => self.char_or_lifetime(line),
                 c if c.is_ascii_digit() => self.number(line),
@@ -454,6 +465,19 @@ mod tests {
         // Byte and raw-byte strings.
         let ids = idents(r#"let b = b"bytes"; let rb = br"raw bytes";"#);
         assert_eq!(ids, vec!["let", "b", "let", "rb"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes_swallow_interiors() {
+        // The prefix letter must never leak as an identifier and the
+        // interior must never produce tokens.
+        let ids = idents(r#"let s = c"thread_rng()"; let t = cr"Instant::now()";"#);
+        assert_eq!(ids, vec!["let", "s", "let", "t"]);
+        let ids = idents(r###"let u = cr##"has "# inside"##; let v = b'x';"###);
+        assert_eq!(ids, vec!["let", "u", "let", "v"]);
+        // `c`/`b` as ordinary identifiers are untouched.
+        let ids = idents("let c = b + cr + 1;");
+        assert_eq!(ids, vec!["let", "c", "b", "cr"]);
     }
 
     #[test]

@@ -5,26 +5,34 @@
 //! (DESIGN.md §5), RNG-free cached artifacts (§7), structured
 //! lock-poisoning and budget-ledger discipline (§6), and
 //! merge-determinism on append (§8). This crate enforces the *static*
-//! face of those contracts: a lightweight Rust lexer
+//! face of those contracts in two passes: a lightweight Rust lexer
 //! ([`lexer`] — comments, strings, and raw strings handled exactly)
-//! plus a rule engine ([`engine`]) that walks every `.rs` file in the
-//! workspace and applies the invariant catalog ([`rules::CATALOG`]):
+//! feeding per-file token rules, and an item parser ([`parser`]) plus
+//! intra-crate call graph ([`graph`]) feeding cross-file *semantic*
+//! rules ([`semantic`], DESIGN.md §13). The invariant catalog
+//! ([`rules::CATALOG`]):
 //!
-//! | id | invariant | contract |
-//! |----|-----------|----------|
-//! | R1 | no clocks / ambient RNG / env reads in determinism scope | §5, §7 |
-//! | R2 | no `HashMap`/`HashSet` in determinism scope              | §5, §7 |
-//! | R3 | no `.unwrap()`/`.expect()` on lock guards                | §6     |
-//! | R4 | every `unsafe` block carries `// SAFETY:`                | §4     |
-//! | R5 | no float `==`/`!=` vs. float literals/consts             | §1, §5 |
-//! | R6 | no `println!`/`eprintln!` in library crates              | §6     |
+//! | id  | invariant | contract |
+//! |-----|-----------|----------|
+//! | R1  | no clocks / ambient RNG / env reads in determinism scope | §5, §7 |
+//! | R2  | no `HashMap`/`HashSet` in determinism scope              | §5, §7 |
+//! | R3  | no `.unwrap()`/`.expect()` on lock guards                | §6     |
+//! | R4  | every `unsafe` block carries `// SAFETY:`                | §4     |
+//! | R5  | no float `==`/`!=` vs. float literals/consts             | §1, §5 |
+//! | R6  | no `println!`/`eprintln!` in library crates              | §6     |
+//! | R7  | every RNG seed traces to the `child_seed` tree           | §1.1, §5, §13 |
+//! | R8  | lock pairs acquire in one global order                   | §6, §10, §13 |
+//! | R9  | `estimate` calls are dominated by a ledger reservation   | §6.2, §13 |
+//! | R10 | no panic surface in the reactor outside `catch_unwind`   | §10, §13 |
 //!
 //! Scoping lives in the committed `lint.toml` ([`config`]); per-line
 //! exemptions use `// updp-lint: allow(R<n>, reason="…")` and the
 //! reason is mandatory — the auditor turns undocumented exemptions,
-//! malformed allows, and *stale* allows into diagnostics of their own.
-//! The `updp-lint` binary is the CI gate: `--check` exits non-zero
-//! with `file:line` diagnostics citing the violated contract section;
+//! malformed allows, and *stale* allows into diagnostics of their own,
+//! and audit-time config validation flags scope entries matching no
+//! file. The `updp-lint` binary is the CI gate: `--check` exits
+//! non-zero with `file:line` diagnostics citing the violated contract
+//! section (`--format github` adds workflow annotations);
 //! `--explain R<n>` prints the rationale.
 //!
 //! No external dependencies, per the vendored-shim policy (§4).
@@ -33,9 +41,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use config::Config;
-pub use engine::{audit_source, audit_workspace, AuditReport, Diagnostic};
+pub use engine::{
+    audit_files, audit_source, audit_workspace, validate_config, AuditReport, Diagnostic,
+};
 pub use rules::{Rule, CATALOG};

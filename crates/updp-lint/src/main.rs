@@ -1,7 +1,10 @@
 //! The `updp-lint` CLI — the CI gate for the invariant catalog.
 //!
 //! ```text
-//! updp-lint --check [--root DIR]    audit the workspace; exit 1 on any diagnostic
+//! updp-lint --check [--root DIR] [--format github]
+//!                                   audit the workspace; exit 1 on any diagnostic
+//!                                   (`--format github` adds `::error` workflow
+//!                                   annotations after the human-readable lines)
 //! updp-lint --explain R<n>          print one rule's contract rationale
 //! updp-lint --list                  print the invariant catalog
 //! ```
@@ -11,7 +14,9 @@ use std::process::ExitCode;
 use updp_lint::{audit_workspace, rules, CATALOG};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: updp-lint --check [--root DIR] | --explain RULE | --list");
+    eprintln!(
+        "usage: updp-lint --check [--root DIR] [--format human|github] | --explain RULE | --list"
+    );
     ExitCode::from(2)
 }
 
@@ -20,6 +25,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut mode: Option<&str> = None;
     let mut explain_rule = String::new();
+    let mut github_format = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +44,14 @@ fn main() -> ExitCode {
                 match args.get(i) {
                     Some(dir) => root = Some(PathBuf::from(dir)),
                     None => return usage(),
+                }
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("human") => github_format = false,
+                    Some("github") => github_format = true,
+                    _ => return usage(),
                 }
             }
             _ => return usage(),
@@ -90,6 +104,18 @@ fn main() -> ExitCode {
                 Ok(report) => {
                     for d in &report.diagnostics {
                         println!("{d}");
+                    }
+                    if github_format {
+                        // Workflow annotations surface each diagnostic
+                        // on the PR diff; they ride alongside (not
+                        // instead of) the human lines so a `tee`'d log
+                        // stays readable.
+                        for d in &report.diagnostics {
+                            println!(
+                                "::error file={},line={}::{} ({}): {} [{}]",
+                                d.path, d.line, d.rule_id, d.rule_name, d.message, d.contract
+                            );
+                        }
                     }
                     if report.diagnostics.is_empty() {
                         eprintln!(

@@ -1,0 +1,447 @@
+//! A lightweight item parser on top of [`crate::lexer`]: extracts
+//! `fn` items (with parameter names and body token ranges), the
+//! `impl` block each method belongs to, and `use`/`mod` declarations.
+//!
+//! This is *not* a Rust parser — it is the minimum structure the
+//! semantic rules (R7–R10, DESIGN.md §13) need: which tokens belong
+//! to which function, what that function's inputs are named, and
+//! enough of the item tree to resolve `self.method()` and
+//! unique-name free-function calls within a crate. The extraction is
+//! a single forward walk with brace matching; constructs it cannot
+//! classify (trait-object sugar, const-generic braces in signatures)
+//! degrade to "no item recorded", never to a panic — the same
+//! totality discipline as the lexer.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The `impl`/`trait` self-type name, for methods.
+    pub impl_type: Option<String>,
+    /// `pub` (any visibility qualifier) on the item.
+    pub is_pub: bool,
+    /// Parameter identifier names, including `self` when present.
+    pub params: Vec<String>,
+    /// 1-based line of the function name.
+    pub line: u32,
+    /// Token index range of the body, `{` and `}` inclusive:
+    /// `[body.0, body.1)`.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn qual_name(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `use` declaration, flattened to its joined path text.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    pub path: String,
+    pub line: u32,
+}
+
+/// One `mod` declaration (inline or file-backed).
+#[derive(Debug, Clone)]
+pub struct ModDecl {
+    pub name: String,
+    pub line: u32,
+}
+
+/// Parsed form of one source file: the full token stream plus the
+/// item structure the semantic pass walks.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a `#[cfg(test)]` / `#[test]` item.
+    pub test_mask: Vec<bool>,
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseDecl>,
+    pub mods: Vec<ModDecl>,
+}
+
+impl ParsedFile {
+    /// The crate a workspace-relative path belongs to
+    /// (`crates/<name>/…` → `<name>`; anything else → `workspace`).
+    pub fn crate_name(&self) -> &str {
+        crate_of(&self.path)
+    }
+}
+
+pub fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("workspace")
+    } else {
+        "workspace"
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens.get(i).and_then(Token::ident)
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Index one past the `}` matching the `{` at `open` (or `tokens.len()`
+/// when unbalanced — truncated input must not wedge the walk).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the `)` matching the `(` at `open` (or `tokens.len()` when
+/// unbalanced).
+pub fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Skips a balanced `<…>` generic-parameter list starting at `open`
+/// (which must be `<`); `->` inside bounds does not count as a close.
+fn skip_generics(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        if punct_at(tokens, i, '-') && punct_at(tokens, i + 1, '>') {
+            i += 2;
+            continue;
+        }
+        if punct_at(tokens, i, '<') {
+            depth += 1;
+        } else if punct_at(tokens, i, '>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Is index `i` at *item position* — the start of a declaration rather
+/// than mid-expression (`-> impl Trait`, `&dyn Fn`, …)?
+fn at_item_position(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &tokens[i - 1];
+    if matches!(prev.kind, TokenKind::Punct(';' | '{' | '}' | ']')) {
+        return true;
+    }
+    matches!(
+        prev.ident(),
+        Some("pub" | "unsafe" | "async" | "const" | "default" | "extern")
+    ) || matches!(prev.kind, TokenKind::Punct(')')) && is_vis_paren(tokens, i - 1)
+}
+
+/// `pub(crate)` / `pub(super)` / `pub(in path)` before an item: the
+/// `)` at `close` belongs to a visibility qualifier.
+fn is_vis_paren(tokens: &[Token], close: usize) -> bool {
+    let mut k = close;
+    let mut depth = 0i64;
+    loop {
+        if punct_at(tokens, k, ')') {
+            depth += 1;
+        } else if punct_at(tokens, k, '(') {
+            depth -= 1;
+            if depth == 0 {
+                return k > 0 && ident_at(tokens, k - 1) == Some("pub");
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+}
+
+/// Is `pub` (with or without a `(crate)`-style restriction) among the
+/// qualifiers directly before the `fn` keyword at `fn_kw`?
+fn has_pub_qualifier(tokens: &[Token], fn_kw: usize) -> bool {
+    let mut k = fn_kw;
+    while k > 0 {
+        k -= 1;
+        match &tokens[k].kind {
+            TokenKind::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "const"
+                        | "async"
+                        | "unsafe"
+                        | "extern"
+                        | "default"
+                        | "crate"
+                        | "super"
+                        | "in"
+                        | "self"
+                ) => {}
+            TokenKind::Ident(s) if s == "pub" => return true,
+            TokenKind::Punct('(' | ')') => {}
+            TokenKind::Literal => {} // extern "C"
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// The self-type name of an `impl` header whose tokens span
+/// `[start, body_open)`: the type after `for` when present
+/// (trait impls), else the first type ident after the generics.
+fn impl_self_type(tokens: &[Token], start: usize, body_open: usize) -> Option<String> {
+    let mut i = start;
+    if punct_at(tokens, i, '<') {
+        i = skip_generics(tokens, i);
+    }
+    // A `for` not opening an HRTB (`for<'a>`) splits trait from type.
+    let mut type_start = i;
+    let mut k = i;
+    while k < body_open {
+        if ident_at(tokens, k) == Some("for") && !punct_at(tokens, k + 1, '<') {
+            type_start = k + 1;
+        }
+        k += 1;
+    }
+    (type_start..body_open).find_map(|k| match ident_at(tokens, k) {
+        Some("mut" | "dyn" | "where") | None => None,
+        Some(name) => Some(name.to_string()),
+    })
+}
+
+/// Parameter names of the list opening at `open` (a `(`); returns the
+/// names and the index one past the closing `)`.
+fn parse_params(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut names = Vec::new();
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        if punct_at(tokens, i, '(') {
+            depth += 1;
+        } else if punct_at(tokens, i, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return (names, i + 1);
+            }
+        } else if depth == 1 {
+            if ident_at(tokens, i) == Some("self") {
+                names.push("self".to_string());
+            } else if let Some(name) = ident_at(tokens, i) {
+                // `name :` (single colon) binds a typed parameter.
+                if punct_at(tokens, i + 1, ':') && !punct_at(tokens, i + 2, ':') {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    (names, tokens.len())
+}
+
+/// Parses one file's token stream. `test_mask` is the per-token
+/// `#[cfg(test)]` classification (see the engine's mask builder).
+pub fn parse_file(path: &str, tokens: Vec<Token>, test_mask: Vec<bool>) -> ParsedFile {
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+    let mut mods = Vec::new();
+    // Innermost-last stack of (self type, end token index) for
+    // `impl`/`trait` blocks the walk is currently inside.
+    let mut impl_stack: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while impl_stack.last().is_some_and(|(_, end)| i >= *end) {
+            impl_stack.pop();
+        }
+        match ident_at(&tokens, i) {
+            Some("impl" | "trait") if at_item_position(&tokens, i) => {
+                let body_open = (i + 1..tokens.len())
+                    .find(|&k| punct_at(&tokens, k, '{') || punct_at(&tokens, k, ';'));
+                match body_open {
+                    Some(open) if punct_at(&tokens, open, '{') => {
+                        let self_type = impl_self_type(&tokens, i + 1, open);
+                        impl_stack.push((self_type, matching_brace(&tokens, open)));
+                        i = open + 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            Some("fn") if ident_at(&tokens, i + 1).is_some() => {
+                let name = ident_at(&tokens, i + 1).unwrap_or_default().to_string();
+                let line = tokens[i + 1].line;
+                let mut j = i + 2;
+                if punct_at(&tokens, j, '<') {
+                    j = skip_generics(&tokens, j);
+                }
+                if !punct_at(&tokens, j, '(') {
+                    i += 1;
+                    continue;
+                }
+                let (params, after_params) = parse_params(&tokens, j);
+                // Walk the return type / where clause to the body.
+                let mut k = after_params;
+                while k < tokens.len() && !punct_at(&tokens, k, '{') && !punct_at(&tokens, k, ';') {
+                    k += 1;
+                }
+                if k >= tokens.len() || punct_at(&tokens, k, ';') {
+                    // Bodiless signature (trait method declaration).
+                    i = k + 1;
+                    continue;
+                }
+                let body_end = matching_brace(&tokens, k);
+                fns.push(FnItem {
+                    name,
+                    impl_type: impl_stack.last().and_then(|(t, _)| t.clone()),
+                    is_pub: has_pub_qualifier(&tokens, i),
+                    params,
+                    line,
+                    body: (k, body_end),
+                });
+                // Keep walking *inside* the body: nested fns and
+                // methods of nested impls are items too.
+                i = k + 1;
+            }
+            Some("use") if at_item_position(&tokens, i) => {
+                let line = tokens[i].line;
+                let mut text = String::new();
+                let mut k = i + 1;
+                while k < tokens.len() && !punct_at(&tokens, k, ';') {
+                    match &tokens[k].kind {
+                        TokenKind::Ident(s) => text.push_str(s),
+                        TokenKind::Punct(c) => text.push(*c),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                uses.push(UseDecl { path: text, line });
+                i = k + 1;
+            }
+            Some("mod") if at_item_position(&tokens, i) => {
+                if let Some(name) = ident_at(&tokens, i + 1) {
+                    mods.push(ModDecl {
+                        name: name.to_string(),
+                        line: tokens[i].line,
+                    });
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    ParsedFile {
+        path: path.to_string(),
+        tokens,
+        test_mask,
+        fns,
+        uses,
+        mods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let n = lexed.tokens.len();
+        parse_file("crates/x/src/lib.rs", lexed.tokens, vec![false; n])
+    }
+
+    #[test]
+    fn extracts_free_fns_with_params_and_visibility() {
+        let p = parse("pub fn a(x: u32, mut y: f64) -> u32 { x }\nfn b() {}\n");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert!(p.fns[0].is_pub);
+        assert_eq!(p.fns[0].params, vec!["x", "y"]);
+        assert_eq!(p.fns[0].line, 1);
+        assert!(!p.fns[1].is_pub);
+        assert_eq!(p.fns[1].line, 2);
+    }
+
+    #[test]
+    fn methods_carry_their_impl_type() {
+        let p = parse(
+            "struct S;\nimpl S {\n  pub(crate) fn m(&self, k: u64) {}\n}\n\
+             impl Clone for S {\n  fn clone(&self) -> S { S }\n}\n\
+             trait T {\n  fn d(&self) {}\n  fn sig_only(&self);\n}\n",
+        );
+        let quals: Vec<String> = p.fns.iter().map(FnItem::qual_name).collect();
+        assert_eq!(quals, vec!["S::m", "S::clone", "T::d"]);
+        assert!(p.fns[0].is_pub, "pub(crate) counts as pub");
+        assert_eq!(p.fns[0].params, vec!["self", "k"]);
+    }
+
+    #[test]
+    fn generic_signatures_and_return_position_impl_parse() {
+        let p = parse(
+            "pub fn g<R: RngCore, F: Fn(u32) -> u32>(rng: &mut R, f: F) -> impl Iterator<Item = u32> {\n\
+               std::iter::empty()\n}\n\
+             fn after() {}\n",
+        );
+        assert_eq!(p.fns.len(), 2, "{:?}", p.fns);
+        assert_eq!(p.fns[0].params, vec!["rng", "f"]);
+        assert_eq!(p.fns[1].name, "after");
+        assert!(
+            p.fns[1].impl_type.is_none(),
+            "impl in return type is not a block"
+        );
+    }
+
+    #[test]
+    fn nested_fns_and_body_ranges_are_recorded() {
+        let p = parse("fn outer() {\n  fn inner(q: u8) {}\n  inner(1);\n}\n");
+        assert_eq!(p.fns.len(), 2);
+        let outer = &p.fns[0];
+        let inner = &p.fns[1];
+        assert!(outer.body.0 < inner.body.0 && inner.body.1 <= outer.body.1);
+    }
+
+    #[test]
+    fn uses_and_mods_are_collected() {
+        let p = parse("use std::sync::{Arc, Mutex};\nmod reactor;\nmod inline { fn f() {} }\n");
+        assert_eq!(p.uses.len(), 1);
+        assert!(p.uses[0].path.contains("std::sync"));
+        let names: Vec<&str> = p.mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["reactor", "inline"]);
+        assert_eq!(p.fns.len(), 1, "fn inside inline mod still parsed");
+    }
+
+    #[test]
+    fn crate_attribution_from_path() {
+        assert_eq!(crate_of("crates/updp-serve/src/engine.rs"), "updp-serve");
+        assert_eq!(crate_of("examples/quickstart.rs"), "workspace");
+    }
+}

@@ -24,10 +24,17 @@ pub struct Rule {
     pub summary: &'static str,
     /// The full rationale (shown by `--explain`).
     pub rationale: &'static str,
+    /// Semantic rules (R7–R10) run in the workspace-level pass over
+    /// the parsed item/call structure, not the per-file token scan,
+    /// and activate only when explicitly configured in `lint.toml`
+    /// (DESIGN.md §13).
+    pub semantic: bool,
 }
 
-/// The six audited invariants (DESIGN.md §9 documents this catalog).
-pub const CATALOG: [Rule; 6] = [
+/// The audited invariants (DESIGN.md §9 and §13 document this
+/// catalog): six lexical per-file rules plus four semantic
+/// workspace-level rules.
+pub const CATALOG: [Rule; 10] = [
     Rule {
         id: "R1",
         name: "ambient-authority",
@@ -43,6 +50,7 @@ pub const CATALOG: [Rule; 6] = [
                     determinism scope. Legitimate exceptions (e.g. the documented UPDP_THREADS \
                     worker-count override, which §5 proves cannot change output bits) carry an \
                     allow with the proof sketched in its reason.",
+        semantic: false,
     },
     Rule {
         id: "R2",
@@ -56,6 +64,7 @@ pub const CATALOG: [Rule; 6] = [
                     scope bans the types outright: use BTreeMap/BTreeSet (deterministic order, \
                     and the maps here are small), or sort explicitly on a total key, or justify a \
                     lookup-only use with an allow.",
+        semantic: false,
     },
     Rule {
         id: "R3",
@@ -70,6 +79,7 @@ pub const CATALOG: [Rule; 6] = [
                     `internal` wire error (§6); all first-party lock acquisitions must either do \
                     the same or recover explicitly (e.g. PoisonError::into_inner where the \
                     guarded data is provably consistent), with the argument written down.",
+        semantic: false,
     },
     Rule {
         id: "R4",
@@ -81,6 +91,7 @@ pub const CATALOG: [Rule; 6] = [
                     relies on in a `// SAFETY:` comment on or immediately above the block, so the \
                     proof obligation is reviewable and survives refactors. Unjustified unsafe is \
                     rejected at CI time.",
+        semantic: false,
     },
     Rule {
         id: "R5",
@@ -95,6 +106,7 @@ pub const CATALOG: [Rule; 6] = [
                     to_bits. Exact sentinel checks against representable constants (0.0 width \
                     degeneracy, fract() == 0.0 integrality) are legitimate — each carries an \
                     allow whose reason states why exact equality is the intended semantics.",
+        semantic: false,
     },
     Rule {
         id: "R6",
@@ -108,6 +120,77 @@ pub const CATALOG: [Rule; 6] = [
                     framing bugs were exactly this class). Libraries return values and structured \
                     errors; only binary targets print. (dbg! is covered by the workspace clippy \
                     lint `dbg_macro` — complementary, no overlap.)",
+        semantic: false,
+    },
+    Rule {
+        id: "R7",
+        name: "seed-discipline",
+        contract: "DESIGN.md §1.1, §5, §13",
+        summary: "every RNG in determinism scope must trace to child_seed or a caller-passed seed",
+        rationale: "The seed tree (§1.1) is the sole randomness root: trial t of any cell is a \
+                    pure function of (master_seed, t), which is what makes execution order and \
+                    thread count irrelevant (§5). An RNG minted from ambient entropy \
+                    (from_entropy, OsRng) or from a fixed ad-hoc literal forks that tree: the \
+                    former breaks reproducibility outright, the latter silently correlates \
+                    trials that the accounting assumes independent. The rule traces each \
+                    seed-consuming constructor's argument through local bindings and accepts \
+                    only spans that reach child_seed, a parameter of the enclosing fn, or self \
+                    — anything else needs a written allow. This is a semantic rule: it runs \
+                    over the parsed item structure in the workspace pass (§13) and only where \
+                    lint.toml scopes it.",
+        semantic: true,
+    },
+    Rule {
+        id: "R8",
+        name: "lock-order",
+        contract: "DESIGN.md §6, §10, §13",
+        summary: "nested lock acquisitions must agree on one global order (deadlock detector)",
+        rationale: "The serve stack holds locks across calls: the registry's pending buffer \
+                    feeds snapshot publication, the ledger serializes persistence behind its \
+                    accounts map, and the view cache layers read/write slots (§6). Two code \
+                    paths that nest the same two locks in opposite orders deadlock under \
+                    contention — a bug the hammer tests can only find probabilistically. The \
+                    rule collects (outer, inner) acquisition pairs across every scoped file, \
+                    approximating guard live ranges (let-binding → enclosing block or \
+                    drop(); if/while/match head → end of construct; chained temporary → end \
+                    of statement) and propagating through self-method calls, then rejects any \
+                    cycle in the resulting order graph and any same-lock re-acquisition. \
+                    Semantic rule: workspace pass, explicit scope (§13).",
+        semantic: true,
+    },
+    Rule {
+        id: "R9",
+        name: "reserve-before-estimate",
+        contract: "DESIGN.md §6.2, §13",
+        summary: "every path to Estimator::estimate must be dominated by a ledger reservation",
+        rationale: "The privacy ledger is only sound if no estimate runs without its epsilon \
+                    reserved first (§6.2): a budget-free estimation path leaks privacy without \
+                    any runtime signal, and the hammer tests cannot exhaustively rule one out. \
+                    The rule computes an exposure fixpoint over the serve crate's call graph: \
+                    a fn is exposed when it reaches an .estimate() call with no \
+                    reserve/reserve_many at an earlier position, directly or through a call to \
+                    an exposed fn. An exposed fn that is pub, or that no in-scope caller \
+                    guards, is a violation. Call-graph edges are added only on unambiguous \
+                    evidence (§13.2), so a refactor that obscures the call chain fails loudly \
+                    here rather than silently passing. Semantic rule: workspace pass, \
+                    explicit scope (§13).",
+        semantic: true,
+    },
+    Rule {
+        id: "R10",
+        name: "panic-surface",
+        contract: "DESIGN.md §10, §13",
+        summary: "no unwrap/expect/indexing/panic! in the reactor outside catch_unwind",
+        rationale: "The reactor multiplexes every connection of a worker onto one event loop \
+                    (§10); a panic outside the catch_unwind dispatch boundary does not 500 one \
+                    request — it kills the worker and silently drops every connection it \
+                    carried. Handler panics are caught at exactly one place (the route \
+                    dispatch); everywhere else the loop must degrade: unwrap/expect become \
+                    unwrap_or-style defaults or early returns, index and slice expressions \
+                    become get()/take()/iterator forms. Sites where the bounds are guaranteed \
+                    by a platform contract carry an allow with that argument written down. \
+                    Semantic rule: workspace pass, explicit scope (§13).",
+        semantic: true,
     },
 ];
 

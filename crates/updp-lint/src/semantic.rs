@@ -1,0 +1,1004 @@
+//! The semantic pass: cross-file rules R7–R10 over the parsed
+//! workspace (DESIGN.md §13).
+//!
+//! Unlike R1–R6, these rules reason about *flow* — where a seed came
+//! from, which locks a call chain acquires, whether a reservation
+//! dominates an estimate — so they run once over the whole audited
+//! file set rather than per file. They activate only for rules
+//! explicitly configured in `lint.toml`: each binds to named
+//! subsystems (the determinism trees, the serve stack, the reactor),
+//! and a default whole-tree scope would be meaningless for them.
+
+use crate::config::{Config, RuleScope};
+use crate::engine::{classify, scope_covers};
+use crate::graph::{Call, CallKind, FnId, Workspace};
+use crate::parser::{matching_brace, matching_paren, FnItem, ParsedFile};
+use crate::rules::{self, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One semantic-rule hit, pre-allow-resolution.
+#[derive(Debug, Clone)]
+pub struct SemFinding {
+    pub path: String,
+    pub rule: &'static Rule,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Runs every configured semantic rule over the parsed files.
+pub fn scan_workspace(files: &[ParsedFile], config: &Config) -> Vec<SemFinding> {
+    let mut out = Vec::new();
+    for id in ["R7", "R8", "R9", "R10"] {
+        // Semantic rules never fall back to the default whole-tree
+        // scope: absent from lint.toml means off (module docs).
+        if !config.rules.contains_key(id) {
+            continue;
+        }
+        let rule = rules::find(id).expect("semantic rules are in the catalog");
+        let scope = config.scope(id);
+        let selected: Vec<&ParsedFile> = files
+            .iter()
+            .filter(|f| scope_covers(&scope, &f.path, classify(&f.path)))
+            .collect();
+        match id {
+            "R7" => scan_seed_discipline(rule, &selected, &scope, &mut out),
+            "R8" => scan_lock_order(rule, &selected, &scope, &mut out),
+            "R9" => scan_reserve_before_estimate(rule, &selected, &scope, &mut out),
+            "R10" => scan_panic_surface(rule, &selected, &scope, &mut out),
+            _ => unreachable!(),
+        }
+    }
+    // Overlapping fn ranges (nested fns) can hit the same site twice.
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.rule.id, &a.message).cmp(&(&b.path, b.line, b.rule.id, &b.message))
+    });
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.rule.id == b.rule.id);
+    out
+}
+
+fn ident_at(tokens: &[crate::lexer::Token], i: usize) -> Option<&str> {
+    tokens.get(i).and_then(crate::lexer::Token::ident)
+}
+
+fn punct_at(tokens: &[crate::lexer::Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Is this fn a test item (body starts inside the test mask)?
+fn is_test_fn(file: &ParsedFile, f: &FnItem) -> bool {
+    file.test_mask.get(f.body.0).copied().unwrap_or(false)
+}
+
+// ---------------------------------------------------------------- R7
+
+/// Idents that mint randomness from ambient entropy: always a
+/// violation in determinism scope, whatever the arguments.
+const AMBIENT_RNG: [&str; 3] = ["from_entropy", "from_os_rng", "OsRng"];
+
+/// Seed-consuming RNG constructors: compliant only when the seed
+/// argument traces to `child_seed` or a caller-passed value.
+const SEEDED_CTORS: [&str; 4] = ["seeded", "from_seed", "seed_from_u64", "from_rng"];
+
+fn scan_seed_discipline(
+    rule: &'static Rule,
+    files: &[&ParsedFile],
+    scope: &RuleScope,
+    out: &mut Vec<SemFinding>,
+) {
+    for file in files {
+        for f in &file.fns {
+            if !scope.include_tests && is_test_fn(file, f) {
+                continue;
+            }
+            let locals = collect_locals(file, f);
+            let tokens = &file.tokens;
+            for i in f.body.0..f.body.1.min(tokens.len()) {
+                let Some(name) = ident_at(tokens, i) else {
+                    continue;
+                };
+                if AMBIENT_RNG.contains(&name) {
+                    out.push(SemFinding {
+                        path: file.path.clone(),
+                        rule,
+                        line: tokens[i].line,
+                        message: format!(
+                            "`{name}` mints randomness from ambient entropy inside \
+                             determinism-scoped code — every RNG must trace to the §1.1 \
+                             `child_seed` tree or a caller-passed generator"
+                        ),
+                    });
+                    continue;
+                }
+                if SEEDED_CTORS.contains(&name) && punct_at(tokens, i + 1, '(') {
+                    let close = matching_paren(tokens, i + 1);
+                    if !seed_traces(tokens, i + 2, close, f, &locals) {
+                        out.push(SemFinding {
+                            path: file.path.clone(),
+                            rule,
+                            line: tokens[i].line,
+                            message: format!(
+                                "`{name}(…)` constructs an RNG from a seed that does not trace \
+                                 to `child_seed` or a caller-passed value — fixed or ad-hoc \
+                                 seeds fork the §1.1 seed tree and break bit-reproducibility"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `let`-bound locals of a fn body: name → initializer token range.
+fn collect_locals(file: &ParsedFile, f: &FnItem) -> BTreeMap<String, (usize, usize)> {
+    let tokens = &file.tokens;
+    let mut locals = BTreeMap::new();
+    let mut i = f.body.0;
+    while i < f.body.1.min(tokens.len()) {
+        if ident_at(tokens, i) != Some("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if ident_at(tokens, j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ident_at(tokens, j) else {
+            i += 1;
+            continue;
+        };
+        // Only plain `let name [: ty] = init;` bindings — destructuring
+        // patterns are skipped (a missed binding only narrows tracing).
+        let mut k = j + 1;
+        let mut depth = 0i64;
+        let mut init_start = None;
+        while k < f.body.1.min(tokens.len()) {
+            match tokens[k].kind {
+                crate::lexer::TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                crate::lexer::TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                crate::lexer::TokenKind::Punct('=')
+                    if depth == 0 && init_start.is_none() && !punct_at(tokens, k + 1, '=') =>
+                {
+                    init_start = Some(k + 1);
+                }
+                crate::lexer::TokenKind::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(start) = init_start {
+            locals.insert(name.to_string(), (start, k));
+        }
+        i = k + 1;
+    }
+    locals
+}
+
+/// Does the token span `[start, end)` trace (through local bindings)
+/// to `child_seed`, a parameter of `f`, or `self`?
+fn seed_traces(
+    tokens: &[crate::lexer::Token],
+    start: usize,
+    end: usize,
+    f: &FnItem,
+    locals: &BTreeMap<String, (usize, usize)>,
+) -> bool {
+    let mut queue = vec![(start, end)];
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    while let Some((s, e)) = queue.pop() {
+        for i in s..e.min(tokens.len()) {
+            let Some(name) = ident_at(tokens, i) else {
+                continue;
+            };
+            if name == "child_seed" || name == "self" {
+                return true;
+            }
+            if f.params.iter().any(|p| p == name) {
+                return true;
+            }
+            if let Some(&span) = locals.get(name) {
+                if visited.insert(name.to_string()) {
+                    queue.push(span);
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- R8
+
+/// One lock acquisition and the token range its guard is live for.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    /// The field/receiver ident naming the lock (`pending`, `shard`…).
+    label: String,
+    /// Token index of the `.`, for ordering.
+    tok: usize,
+    line: u32,
+    /// Token index one past which the guard is treated as dropped.
+    end: usize,
+}
+
+fn scan_lock_order(
+    rule: &'static Rule,
+    files: &[&ParsedFile],
+    scope: &RuleScope,
+    out: &mut Vec<SemFinding>,
+) {
+    let selected: Vec<&ParsedFile> = files.to_vec();
+    let ws = Workspace::build(selected.iter().copied());
+
+    // Per fn: direct acquisitions and resolved outgoing calls.
+    let mut acqs: BTreeMap<FnId, Vec<Acquisition>> = BTreeMap::new();
+    for (fi, file) in selected.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            if !scope.include_tests && is_test_fn(file, f) {
+                continue;
+            }
+            acqs.insert((fi, gi), acquisitions_in(file, f));
+        }
+    }
+
+    // Transitive label sets: every lock a call into `f` may acquire.
+    let mut all_labels: BTreeMap<FnId, BTreeSet<String>> = acqs
+        .iter()
+        .map(|(&id, v)| (id, v.iter().map(|a| a.label.clone()).collect()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (&caller, calls) in &ws.calls {
+            if !all_labels.contains_key(&caller) {
+                continue;
+            }
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for call in calls {
+                if let Some(callee) = ws.resolve(caller, call) {
+                    if let Some(labels) = all_labels.get(&callee) {
+                        add.extend(labels.iter().cloned());
+                    }
+                }
+            }
+            let mine = all_labels.entry(caller).or_default();
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Ordered pairs: (outer label, inner label) with the inner site.
+    #[derive(Debug)]
+    struct PairSite {
+        path: String,
+        line: u32,
+    }
+    let mut pairs: BTreeMap<(String, String), PairSite> = BTreeMap::new();
+    for (&(fi, _gi), fn_acqs) in &acqs {
+        let file = selected[fi];
+        for a in fn_acqs {
+            // Same-fn nesting.
+            for b in fn_acqs {
+                if a.tok < b.tok && b.tok < a.end {
+                    pairs
+                        .entry((a.label.clone(), b.label.clone()))
+                        .or_insert(PairSite {
+                            path: file.path.clone(),
+                            line: b.line,
+                        });
+                }
+            }
+        }
+    }
+    for (&caller, calls) in &ws.calls {
+        let Some(fn_acqs) = acqs.get(&caller) else {
+            continue;
+        };
+        let file = selected[caller.0];
+        for call in calls {
+            let Some(callee) = ws.resolve(caller, call) else {
+                continue;
+            };
+            let Some(inner_labels) = all_labels.get(&callee) else {
+                continue;
+            };
+            for a in fn_acqs {
+                if a.tok < call.tok && call.tok < a.end {
+                    for l in inner_labels {
+                        pairs
+                            .entry((a.label.clone(), l.clone()))
+                            .or_insert(PairSite {
+                                path: file.path.clone(),
+                                line: call.line,
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Same-label nesting is an immediate self-deadlock risk.
+    for ((outer, inner), site) in &pairs {
+        if outer == inner {
+            out.push(SemFinding {
+                path: site.path.clone(),
+                rule,
+                line: site.line,
+                message: format!(
+                    "lock `{outer}` acquired while a guard for `{outer}` is still live — \
+                     self-deadlock (Mutex) or writer-starvation deadlock (RwLock) under \
+                     contention"
+                ),
+            });
+        }
+    }
+
+    // Inconsistent ordering: an edge whose reverse direction is
+    // reachable forms a cycle.
+    let edges: BTreeSet<(String, String)> = pairs.keys().filter(|(a, b)| a != b).cloned().collect();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in &edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    for (a, b) in &edges {
+        if reachable(&adj, b, a) {
+            let site = &pairs[&(a.clone(), b.clone())];
+            let opposite = pairs
+                .get(&(b.clone(), a.clone()))
+                .map(|s| format!("{}:{}", s.path, s.line))
+                .unwrap_or_else(|| "a transitive chain".to_string());
+            out.push(SemFinding {
+                path: site.path.clone(),
+                rule,
+                line: site.line,
+                message: format!(
+                    "inconsistent lock order: `{a}` → `{b}` here, but `{b}` → `{a}` via \
+                     {opposite} — two threads taking the two paths deadlock"
+                ),
+            });
+        }
+    }
+}
+
+fn reachable(adj: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Finds `.lock()` / argless `.read()` / `.write()` acquisitions in a
+/// fn body and approximates each guard's live token range:
+/// a `let`-bound guard lives to the end of its enclosing block (or an
+/// explicit `drop(name)`); a guard acquired in an `if`/`while`/
+/// `match`/`for` head lives to the end of the construct; a chained
+/// temporary lives to the end of its statement.
+fn acquisitions_in(file: &ParsedFile, f: &FnItem) -> Vec<Acquisition> {
+    let tokens = &file.tokens;
+    let body_end = f.body.1.min(tokens.len());
+    let mut out = Vec::new();
+    for i in f.body.0..body_end {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        if !matches!(ident_at(tokens, i + 1), Some("lock" | "read" | "write")) {
+            continue;
+        }
+        if !(punct_at(tokens, i + 2, '(') && punct_at(tokens, i + 3, ')')) {
+            continue;
+        }
+        let Some(label) = receiver_label(tokens, i) else {
+            continue;
+        };
+        let stmt_start = statement_start(tokens, f.body.0, i);
+        let end = match ident_at(tokens, stmt_start) {
+            Some("let") => {
+                let mut j = stmt_start + 1;
+                if ident_at(tokens, j) == Some("mut") {
+                    j += 1;
+                }
+                let bound = ident_at(tokens, j).map(str::to_string);
+                let block_end = enclosing_block_end(tokens, body_end, i);
+                match bound {
+                    Some(name) => drop_site(tokens, i, block_end, &name).unwrap_or(block_end),
+                    None => block_end,
+                }
+            }
+            Some("if" | "while" | "match" | "for") => construct_end(tokens, stmt_start, body_end),
+            _ => statement_end(tokens, body_end, i),
+        };
+        out.push(Acquisition {
+            label,
+            tok: i,
+            line: tokens[i + 1].line,
+            end,
+        });
+    }
+    out
+}
+
+/// The ident naming the lock: the field or method directly left of the
+/// acquisition's `.`, skipping one balanced call-argument list
+/// (`self.shard(name).write()` → `shard`).
+fn receiver_label(tokens: &[crate::lexer::Token], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let mut k = dot - 1;
+    if tokens[k].is_punct(')') {
+        let mut depth = 0i64;
+        loop {
+            if tokens[k].is_punct(')') {
+                depth += 1;
+            } else if tokens[k].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    tokens[k].ident().map(str::to_string)
+}
+
+/// Token index where the statement containing `tok` starts.
+fn statement_start(tokens: &[crate::lexer::Token], body_start: usize, tok: usize) -> usize {
+    let mut k = tok;
+    let mut depth = 0i64;
+    while k > body_start {
+        k -= 1;
+        match tokens[k].kind {
+            crate::lexer::TokenKind::Punct(')' | ']') => depth += 1,
+            crate::lexer::TokenKind::Punct('(' | '[') => {
+                if depth == 0 {
+                    return k + 1;
+                }
+                depth -= 1;
+            }
+            crate::lexer::TokenKind::Punct('{' | '}' | ';') if depth == 0 => return k + 1,
+            _ => {}
+        }
+    }
+    body_start
+}
+
+/// Index of the `}` closing the block enclosing `tok`.
+fn enclosing_block_end(tokens: &[crate::lexer::Token], body_end: usize, tok: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().take(body_end).skip(tok) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return k;
+            }
+            depth -= 1;
+        }
+    }
+    body_end
+}
+
+/// Index of a `drop(name)` call between `from` and `until`, if any.
+fn drop_site(
+    tokens: &[crate::lexer::Token],
+    from: usize,
+    until: usize,
+    name: &str,
+) -> Option<usize> {
+    (from..until.min(tokens.len())).find(|&k| {
+        ident_at(tokens, k) == Some("drop")
+            && punct_at(tokens, k + 1, '(')
+            && ident_at(tokens, k + 2) == Some(name)
+            && punct_at(tokens, k + 3, ')')
+    })
+}
+
+/// Index one past the end of the `if`/`while`/`match`/`for` construct
+/// starting at `start` (follows `else`/`else if` chains).
+fn construct_end(tokens: &[crate::lexer::Token], start: usize, body_end: usize) -> usize {
+    let mut paren = 0i64;
+    let mut k = start;
+    // First body `{` at paren depth 0.
+    while k < body_end {
+        match tokens[k].kind {
+            crate::lexer::TokenKind::Punct('(') => paren += 1,
+            crate::lexer::TokenKind::Punct(')') => paren -= 1,
+            crate::lexer::TokenKind::Punct('{') if paren == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= body_end {
+        return body_end;
+    }
+    let mut end = matching_brace(tokens, k);
+    while ident_at(tokens, end) == Some("else") {
+        let mut j = end + 1;
+        if ident_at(tokens, j) == Some("if") {
+            // Walk the `else if` condition to its block.
+            let mut paren = 0i64;
+            while j < body_end {
+                match tokens[j].kind {
+                    crate::lexer::TokenKind::Punct('(') => paren += 1,
+                    crate::lexer::TokenKind::Punct(')') => paren -= 1,
+                    crate::lexer::TokenKind::Punct('{') if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if j >= body_end || !tokens[j].is_punct('{') {
+            return end;
+        }
+        end = matching_brace(tokens, j);
+    }
+    end.min(body_end)
+}
+
+/// Index of the `;` (or closing `}`) ending the statement containing
+/// `tok`.
+fn statement_end(tokens: &[crate::lexer::Token], body_end: usize, tok: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().take(body_end).skip(tok) {
+        match t.kind {
+            crate::lexer::TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            crate::lexer::TokenKind::Punct(')' | ']' | '}') => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            crate::lexer::TokenKind::Punct(';') if depth == 0 => return k,
+            _ => {}
+        }
+    }
+    body_end
+}
+
+// ---------------------------------------------------------------- R9
+
+fn scan_reserve_before_estimate(
+    rule: &'static Rule,
+    files: &[&ParsedFile],
+    scope: &RuleScope,
+    out: &mut Vec<SemFinding>,
+) {
+    let selected: Vec<&ParsedFile> = files.to_vec();
+    let ws = Workspace::build(selected.iter().copied());
+
+    // Per fn: token position of the first ledger reservation, and the
+    // positions of direct `.estimate(` calls.
+    let mut first_res: BTreeMap<FnId, usize> = BTreeMap::new();
+    let mut estimates: BTreeMap<FnId, Vec<&Call>> = BTreeMap::new();
+    let mut audited: BTreeSet<FnId> = BTreeSet::new();
+    for (fi, file) in selected.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            if !scope.include_tests && is_test_fn(file, f) {
+                continue;
+            }
+            let id = (fi, gi);
+            audited.insert(id);
+            for call in &ws.calls[&id] {
+                if matches!(call.kind, CallKind::SelfMethod | CallKind::Method) {
+                    match call.name.as_str() {
+                        "reserve" | "reserve_many" => {
+                            let e = first_res.entry(id).or_insert(call.tok);
+                            *e = (*e).min(call.tok);
+                        }
+                        "estimate" => estimates.entry(id).or_default().push(call),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Exposure fixpoint: a fn is exposed when some path through it
+    // reaches `.estimate(` with no reservation at an earlier position.
+    let mut exposed: BTreeMap<FnId, (u32, String)> = BTreeMap::new();
+    for (&id, ests) in &estimates {
+        let guard = first_res.get(&id).copied().unwrap_or(usize::MAX);
+        if let Some(c) = ests.iter().find(|c| c.tok < guard) {
+            exposed.insert(
+                id,
+                (
+                    c.line,
+                    "`.estimate(…)` with no ledger reservation on any earlier path \
+                     position in this function"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    loop {
+        let mut grew = false;
+        for &id in &audited {
+            if exposed.contains_key(&id) {
+                continue;
+            }
+            let guard = first_res.get(&id).copied().unwrap_or(usize::MAX);
+            for call in &ws.calls[&id] {
+                if call.tok >= guard {
+                    continue;
+                }
+                let Some(callee) = ws.resolve(id, call) else {
+                    continue;
+                };
+                if exposed.contains_key(&callee) {
+                    exposed.insert(
+                        id,
+                        (
+                            call.line,
+                            format!(
+                                "call to `{}` reaches `Estimator::estimate` with no ledger \
+                                 reservation at any earlier position in this function",
+                                ws.fn_item(callee).qual_name()
+                            ),
+                        ),
+                    );
+                    grew = true;
+                    break;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Callers within the audited set.
+    let mut has_caller: BTreeSet<FnId> = BTreeSet::new();
+    for &id in &audited {
+        for call in &ws.calls[&id] {
+            if let Some(callee) = ws.resolve(id, call) {
+                if callee != id {
+                    has_caller.insert(callee);
+                }
+            }
+        }
+    }
+
+    // An exposed fn is a violation when budget-free estimation is
+    // reachable from outside: it is `pub`, or nothing in scope calls
+    // it (so every caller is outside the audited surface).
+    for (&id, (line, detail)) in &exposed {
+        let f = ws.fn_item(id);
+        if f.is_pub || !has_caller.contains(&id) {
+            let why = if f.is_pub {
+                "is `pub`"
+            } else {
+                "has no in-scope caller that could hold the reservation"
+            };
+            out.push(SemFinding {
+                path: selected[id.0].path.clone(),
+                rule,
+                line: *line,
+                message: format!(
+                    "`{}` {why} and reaches estimation without a dominating reservation: \
+                     {detail} — every `Estimator::estimate` call must be preceded by a \
+                     ledger `reserve`/`reserve_many` on the same path (§6.2)",
+                    f.qual_name()
+                ),
+            });
+        }
+    }
+}
+
+// --------------------------------------------------------------- R10
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Idents that legitimately precede a `[` without it being an index
+/// expression (`&mut [u8]`, `dyn [..]`, `return [..]`, …).
+const NON_INDEX_PREV: [&str; 10] = [
+    "mut", "ref", "dyn", "move", "return", "break", "in", "else", "as", "const",
+];
+
+fn scan_panic_surface(
+    rule: &'static Rule,
+    files: &[&ParsedFile],
+    scope: &RuleScope,
+    out: &mut Vec<SemFinding>,
+) {
+    for file in files {
+        let tokens = &file.tokens;
+        let caught = catch_unwind_mask(tokens);
+        for i in 0..tokens.len() {
+            if caught[i] {
+                continue;
+            }
+            if !scope.include_tests && file.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(` — exact names only
+            // (`unwrap_or_default` and friends are the *fix*).
+            if tokens[i].is_punct('.')
+                && matches!(ident_at(tokens, i + 1), Some("unwrap" | "expect"))
+                && punct_at(tokens, i + 2, '(')
+            {
+                out.push(SemFinding {
+                    path: file.path.clone(),
+                    rule,
+                    line: tokens[i + 1].line,
+                    message: format!(
+                        "`.{}()` outside the catch_unwind dispatch boundary — a panic here \
+                         kills the event-loop worker and every connection it carries (§10); \
+                         degrade to an error or default instead",
+                        ident_at(tokens, i + 1).unwrap_or_default()
+                    ),
+                });
+            }
+            if let Some(name) = ident_at(tokens, i) {
+                if PANIC_MACROS.contains(&name) && punct_at(tokens, i + 1, '!') {
+                    out.push(SemFinding {
+                        path: file.path.clone(),
+                        rule,
+                        line: tokens[i].line,
+                        message: format!(
+                            "`{name}!` outside the catch_unwind dispatch boundary — the \
+                             reactor must degrade, never panic (§10)"
+                        ),
+                    });
+                }
+            }
+            // Index/slice expressions: `expr[…]` panics on
+            // out-of-bounds. Only a `[` directly after a value
+            // (ident, `)`, `]`) is an index; type positions
+            // (`&mut [u8]`, `-> [u8; 4]`) are not.
+            if tokens[i].is_punct('[') && i > 0 {
+                let is_index = match &tokens[i - 1].kind {
+                    crate::lexer::TokenKind::Ident(s) => !NON_INDEX_PREV.contains(&s.as_str()),
+                    crate::lexer::TokenKind::Punct(')' | ']') => true,
+                    _ => false,
+                };
+                if is_index {
+                    out.push(SemFinding {
+                        path: file.path.clone(),
+                        rule,
+                        line: tokens[i].line,
+                        message: "unchecked index/slice expression outside the catch_unwind \
+                                  dispatch boundary — out-of-bounds panics kill the event-loop \
+                                  worker (§10); use get()/take()/iterator forms"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Marks the token spans of `catch_unwind(...)` argument lists — the
+/// one place the reactor is allowed to observe a panic.
+fn catch_unwind_mask(tokens: &[crate::lexer::Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) == Some("catch_unwind") && punct_at(tokens, i + 1, '(') {
+            let close = matching_paren(tokens, i + 1);
+            for m in &mut mask[i..=close.min(tokens.len() - 1)] {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn parsed(path: &str, src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let mask = crate::engine::test_item_mask(&lexed.tokens);
+        parse_file(path, lexed.tokens, mask)
+    }
+
+    fn run(config_extra: &str, files: Vec<ParsedFile>) -> Vec<(String, String, u32)> {
+        let config = Config::parse(config_extra).unwrap();
+        scan_workspace(&files, &config)
+            .into_iter()
+            .map(|f| (f.rule.id.to_string(), f.path, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn r7_traces_seeds_through_locals_to_params_and_child_seed() {
+        let cfg = "[rule.R7]\npaths = [\"crates/c/src\"]\n";
+        // Compliant: direct child_seed, via local, via param.
+        let ok = parsed(
+            "crates/c/src/ok.rs",
+            "fn a(master: u64) {\n\
+               let mut r = seeded(child_seed(master, 1));\n\
+               let s = child_seed(master, 2);\n\
+               let mut r2 = seeded(s);\n\
+               let mut r3 = seeded(master);\n\
+             }\n",
+        );
+        assert!(run(cfg, vec![ok]).is_empty());
+
+        // Violations: ambient entropy and a fixed literal seed.
+        let bad = parsed(
+            "crates/c/src/bad.rs",
+            "fn b() {\n\
+               let mut r = seeded(42);\n\
+               let mut q = StdRng::from_entropy();\n\
+             }\n",
+        );
+        let got = run(cfg, vec![bad]);
+        assert_eq!(
+            got,
+            vec![
+                ("R7".into(), "crates/c/src/bad.rs".into(), 2),
+                ("R7".into(), "crates/c/src/bad.rs".into(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn r7_skips_test_items_and_out_of_scope_files() {
+        let cfg = "[rule.R7]\npaths = [\"crates/c/src\"]\n";
+        let test_only = parsed(
+            "crates/c/src/t.rs",
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let r = seeded(7); }\n}\n",
+        );
+        assert!(run(cfg, vec![test_only]).is_empty());
+        let elsewhere = parsed("crates/other/src/x.rs", "fn f() { let r = seeded(7); }\n");
+        assert!(run(cfg, vec![elsewhere]).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_inconsistent_order_across_files() {
+        let cfg = "[rule.R8]\npaths = [\"crates/c/src\"]\n";
+        let a = parsed(
+            "crates/c/src/a.rs",
+            "fn f(x: L) {\n  let g = x.alpha.lock();\n  let h = x.beta.lock();\n}\n",
+        );
+        let b = parsed(
+            "crates/c/src/b.rs",
+            "fn g(x: L) {\n  let g = x.beta.lock();\n  let h = x.alpha.lock();\n}\n",
+        );
+        let got = run(cfg, vec![a, b]);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().any(|(_, p, l)| p.ends_with("a.rs") && *l == 3));
+        assert!(got.iter().any(|(_, p, l)| p.ends_with("b.rs") && *l == 3));
+    }
+
+    #[test]
+    fn r8_consistent_order_and_dropped_guards_pass() {
+        let cfg = "[rule.R8]\npaths = [\"crates/c/src\"]\n";
+        let consistent = parsed(
+            "crates/c/src/a.rs",
+            "fn f(x: L) { let g = x.alpha.lock(); let h = x.beta.lock(); }\n\
+             fn g(x: L) { let g = x.alpha.lock(); let h = x.beta.lock(); }\n",
+        );
+        assert!(run(cfg, vec![consistent]).is_empty());
+
+        // drop() ends the live range before the second acquisition.
+        let dropped = parsed(
+            "crates/c/src/b.rs",
+            "fn f(x: L) {\n  let g = x.alpha.lock();\n  drop(g);\n  let h = x.beta.lock();\n}\n\
+             fn g(x: L) {\n  let h = x.beta.lock();\n  let g = x.alpha.lock();\n}\n",
+        );
+        assert!(run(cfg, vec![dropped]).is_empty());
+
+        // Read-then-write on the same lock in *sequential* constructs
+        // (the view-cache pattern) is not nesting.
+        let seq = parsed(
+            "crates/c/src/c.rs",
+            "fn f(s: S) {\n  if let Ok(g) = s.slot.read() { use_it(&g); }\n  match s.slot.write() { Ok(mut w) => { *w = 1; } Err(_) => {} }\n}\n",
+        );
+        assert!(run(cfg, vec![seq]).is_empty());
+    }
+
+    #[test]
+    fn r8_same_label_nesting_and_self_method_propagation() {
+        let cfg = "[rule.R8]\npaths = [\"crates/c/src\"]\n";
+        let same = parsed(
+            "crates/c/src/a.rs",
+            "fn f(x: L) {\n  let g = x.inner.lock();\n  let h = x.inner.lock();\n}\n",
+        );
+        let got = run(cfg, vec![same]);
+        assert_eq!(got, vec![("R8".into(), "crates/c/src/a.rs".into(), 3)]);
+
+        // Held guard across a self-method call that locks in reverse.
+        let prop = parsed(
+            "crates/c/src/b.rs",
+            "struct S;\nimpl S {\n\
+               fn a(&self) {\n  let g = self.alpha.lock();\n  self.locks_beta();\n}\n\
+               fn locks_beta(&self) { let h = self.beta.lock(); }\n\
+               fn b(&self) {\n  let g = self.beta.lock();\n  let h = self.alpha.lock();\n}\n\
+             }\n",
+        );
+        let got = run(cfg, vec![prop]);
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn r9_flags_pub_unreserved_estimate_and_exposure_through_calls() {
+        let cfg = "[rule.R9]\npaths = [\"crates/updp-serve/src\"]\n";
+        let bad = parsed(
+            "crates/updp-serve/src/engine.rs",
+            "pub fn free_estimate(e: E, v: V) -> f64 {\n  e.estimate(v)\n}\n",
+        );
+        let got = run(cfg, vec![bad]);
+        assert_eq!(
+            got,
+            vec![("R9".into(), "crates/updp-serve/src/engine.rs".into(), 2)]
+        );
+
+        // A private estimate helper whose only caller reserves first
+        // is clean; a pub wrapper that skips the reservation is not.
+        let layered = parsed(
+            "crates/updp-serve/src/engine.rs",
+            "fn run_one(e: E) -> f64 { e.estimate(v) }\n\
+             pub fn guarded(l: L, e: E) -> f64 {\n  l.reserve_many(q);\n  run_one(e)\n}\n\
+             pub fn unguarded(e: E) -> f64 {\n  run_one(e)\n}\n",
+        );
+        let got = run(cfg, vec![layered]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].2, 7, "the witness call inside the unguarded wrapper");
+    }
+
+    #[test]
+    fn r10_flags_panics_outside_catch_unwind_and_masks_inside() {
+        let cfg = "[rule.R10]\npaths = [\"crates/updp-serve/src/reactor.rs\"]\n";
+        let f = parsed(
+            "crates/updp-serve/src/reactor.rs",
+            "fn f(v: Vec<u8>, i: usize) {\n\
+               let x = v[i];\n\
+               let y = v.get(i).unwrap();\n\
+               panic!(\"boom\");\n\
+               let ok = catch_unwind(|| v[i] + v.get(i).unwrap());\n\
+               let z = v.get(i).copied().unwrap_or_default();\n\
+             }\n",
+        );
+        let got = run(cfg, vec![f]);
+        assert_eq!(
+            got,
+            vec![
+                ("R10".into(), "crates/updp-serve/src/reactor.rs".into(), 2),
+                ("R10".into(), "crates/updp-serve/src/reactor.rs".into(), 3),
+                ("R10".into(), "crates/updp-serve/src/reactor.rs".into(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn r10_spares_type_position_brackets_and_attributes() {
+        let cfg = "[rule.R10]\npaths = [\"crates/updp-serve/src/poll.rs\"]\n";
+        let f = parsed(
+            "crates/updp-serve/src/poll.rs",
+            "#[derive(Debug)]\nstruct E { buf: [u8; 4] }\nfn f(b: &mut [u8]) -> [u8; 2] { [0, 1] }\n",
+        );
+        assert!(run(cfg, vec![f]).is_empty());
+    }
+
+    #[test]
+    fn semantic_rules_require_explicit_configuration() {
+        // No [rule.R7] section → the rule is off even for files that
+        // would violate it under the default whole-tree scope.
+        let f = parsed("crates/c/src/x.rs", "fn f() { let r = seeded(7); }\n");
+        assert!(run("[rule.R1]\npaths = [\"crates/c/src\"]\n", vec![f]).is_empty());
+    }
+}

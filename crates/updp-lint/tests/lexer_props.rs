@@ -108,6 +108,67 @@ proptest! {
         prop_assert!(!idents.contains(&true), "ident leaked from {src:?}");
     }
 
+    /// Byte-string (`b"…"`) and C-string (`c"…"`) interiors are as
+    /// invisible as plain strings, and the prefix letter never leaks
+    /// as an identifier. Same escape discipline as the plain-string
+    /// property.
+    #[test]
+    fn prefixed_string_swallows_content(
+        bytes in prop::collection::vec(0u8..255, 0..60),
+        c_prefix in 0u8..2,
+    ) {
+        let body = printable(&bytes).replace('\\', "\\\\").replace('"', "\\\"");
+        let prefix = if c_prefix == 1 { "c" } else { "b" };
+        let src = format!("let s = {prefix}\"{body}\";");
+        let lexed = lex(&src);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal))
+            .count();
+        prop_assert_eq!(literals, 1, "from {}", src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s"], "leak from {}", src);
+    }
+
+    /// Raw byte- and raw C-strings (`br#"…"#`, `cr#"…"#`) swallow
+    /// anything once the hash count beats the longest `#` run inside.
+    #[test]
+    fn prefixed_raw_string_swallows_content(
+        bytes in prop::collection::vec(0u8..255, 0..60),
+        c_prefix in 0u8..2,
+    ) {
+        let body = printable(&bytes);
+        let longest_run = body
+            .split(|c| c != '#')
+            .map(str::len)
+            .max()
+            .unwrap_or(0);
+        let hashes = "#".repeat(longest_run + 1);
+        let prefix = if c_prefix == 1 { "cr" } else { "br" };
+        let src = format!("let s = {prefix}{hashes}\"{body}\"{hashes};");
+        let lexed = lex(&src);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal))
+            .count();
+        prop_assert_eq!(literals, 1, "from {}", src);
+        let leaked: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .map(|t| matches!(&t.kind, TokenKind::Ident(s) if s != "let" && s != "s"))
+            .collect();
+        prop_assert!(!leaked.contains(&true), "ident leaked from {src:?}");
+    }
+
     /// The lexer is total and line numbers are monotone non-decreasing
     /// over completely arbitrary printable soup with injected newlines
     /// — it must never panic, loop, or walk lines backwards, even on

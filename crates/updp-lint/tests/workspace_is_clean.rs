@@ -6,7 +6,7 @@
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use updp_lint::{audit_workspace, Config};
+use updp_lint::{audit_files, audit_workspace, validate_config, Config};
 
 /// The workspace root, resolved from this crate's manifest dir — the
 /// directory holding the committed `lint.toml`.
@@ -81,6 +81,169 @@ fn planted_violation_yields_file_line_diagnostic() {
     assert!(diags.is_empty(), "test files must be exempt: {diags:?}");
 }
 
+fn committed_config() -> Config {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml readable");
+    Config::parse(&text).expect("committed lint.toml parses")
+}
+
+/// Planted violations for each semantic rule, audited through the
+/// *committed* config so the real scoping is exercised end to end.
+#[test]
+fn planted_semantic_violations_yield_exact_line_diagnostics() {
+    let config = committed_config();
+
+    // R7: a constant-seeded RNG inside a determinism-scoped crate.
+    let files = vec![(
+        "crates/updp-core/src/planted.rs".to_string(),
+        "pub fn sample() -> f64 {\n    let mut rng = seeded(42);\n    rng.gen()\n}\n".to_string(),
+    )];
+    let rendered: Vec<String> = audit_files(&files, &config)
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-core/src/planted.rs:2: R7")),
+        "R7 diagnostic with exact line missing: {rendered:?}"
+    );
+
+    // R8: inconsistent lock order across two serve files — both sites
+    // are cited.
+    let files = vec![
+        (
+            "crates/updp-serve/src/planted_a.rs".to_string(),
+            "fn a(r: R, l: L) {\n    let g = r.pending.lock();\n    let h = l.accounts.lock();\n}\n"
+                .to_string(),
+        ),
+        (
+            "crates/updp-serve/src/planted_b.rs".to_string(),
+            "fn b(r: R, l: L) {\n    let h = l.accounts.lock();\n    let g = r.pending.lock();\n}\n"
+                .to_string(),
+        ),
+    ];
+    let rendered: Vec<String> = audit_files(&files, &config)
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-serve/src/planted_a.rs:3: R8")),
+        "R8 diagnostic at the first site missing: {rendered:?}"
+    );
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-serve/src/planted_b.rs:3: R8")),
+        "R8 diagnostic at the opposing site missing: {rendered:?}"
+    );
+
+    // R9: a pub fn reaching `.estimate(` with no ledger reservation.
+    let files = vec![(
+        "crates/updp-serve/src/planted.rs".to_string(),
+        "pub fn free_estimate(e: E, v: V) -> f64 {\n    e.estimate(v)\n}\n".to_string(),
+    )];
+    let rendered: Vec<String> = audit_files(&files, &config)
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-serve/src/planted.rs:2: R9")),
+        "R9 diagnostic with exact line missing: {rendered:?}"
+    );
+
+    // R10: panic surface planted into the reactor module itself (the
+    // committed scope names the file, not the directory).
+    let files = vec![(
+        "crates/updp-serve/src/reactor.rs".to_string(),
+        "fn f(v: Vec<u8>, i: usize) -> u8 {\n    let x = v[i];\n    v.get(i).unwrap()\n}\n"
+            .to_string(),
+    )];
+    let rendered: Vec<String> = audit_files(&files, &config)
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-serve/src/reactor.rs:2: R10")),
+        "R10 indexing diagnostic missing: {rendered:?}"
+    );
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("crates/updp-serve/src/reactor.rs:3: R10")),
+        "R10 unwrap diagnostic missing: {rendered:?}"
+    );
+}
+
+/// Semantic findings honor the same `allow(...)` escape hatch as the
+/// per-file rules, including the stale-allow diagnostic.
+#[test]
+fn semantic_findings_respect_allows() {
+    let config = committed_config();
+    let files = vec![(
+        "crates/updp-serve/src/reactor.rs".to_string(),
+        "fn f(v: Vec<u8>, i: usize) -> u8 {\n    v[i] // updp-lint: allow(R10, reason=\"caller checked bounds\")\n}\n"
+            .to_string(),
+    )];
+    let diags = audit_files(&files, &config).diagnostics;
+    assert!(
+        diags.is_empty(),
+        "allowed R10 site must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn config_scope_validation_flags_stale_and_duplicate_entries() {
+    // The committed config is valid against the committed tree.
+    let root = workspace_root();
+    let report = audit_workspace(&root).expect("audit runs");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.rule_id == "config"),
+        "committed lint.toml has scope problems: {:?}",
+        report.diagnostics
+    );
+
+    // A paths entry matching no file, a duplicate entry, and an
+    // unknown rule section each become diagnostics at their line.
+    let cfg = Config::parse(
+        "[rule.R1]\npaths = [\"crates/ghost/src\", \"crates/real/src\", \"crates/real/src\"]\n\n[rule.R99]\ninclude_tests = true\n",
+    )
+    .expect("config parses");
+    let rel_paths = vec!["crates/real/src/lib.rs".to_string()];
+    let rendered: Vec<String> = validate_config(&cfg, &rel_paths)
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("lint.toml:2:") && d.contains("`crates/ghost/src` matches no")),
+        "no-match entry must be diagnosed: {rendered:?}"
+    );
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("lint.toml:2:") && d.contains("duplicate")),
+        "duplicate entry must be diagnosed: {rendered:?}"
+    );
+    assert!(
+        rendered
+            .iter()
+            .any(|d| d.starts_with("lint.toml:4:") && d.contains("unknown rule `R99`")),
+        "unknown rule section must be diagnosed: {rendered:?}"
+    );
+}
+
 #[test]
 fn check_mode_exit_codes() {
     let bin = env!("CARGO_BIN_EXE_updp-lint");
@@ -111,7 +274,7 @@ fn check_mode_exit_codes() {
     .expect("fixture source");
 
     let bad = Command::new(bin)
-        .args(["--check", "--root"])
+        .args(["--check", "--format", "github", "--root"])
         .arg(&dir)
         .output()
         .expect("updp-lint runs");
@@ -122,6 +285,10 @@ fn check_mode_exit_codes() {
     assert!(
         stdout.contains("crates/updp-core/src/bad.rs:1: R1"),
         "diagnostic must carry file:line and rule id, got: {stdout}"
+    );
+    assert!(
+        stdout.contains("::error file=crates/updp-core/src/bad.rs,line=1::R1"),
+        "--format github must add workflow annotations, got: {stdout}"
     );
 }
 

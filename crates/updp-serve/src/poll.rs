@@ -101,14 +101,19 @@ impl Events {
 
     /// The events delivered by the last [`Epoll::wait`].
     pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
-        self.buf[..self.len].iter().map(Self::decode)
+        self.buf.iter().take(self.len).map(Self::decode)
     }
 
-    /// The `i`-th delivered event. Indexed access lets the reactor
-    /// walk the batch without allocating (it mutates its slab while
-    /// iterating, so it cannot hold [`Events::iter`]'s borrow).
-    pub fn get(&self, i: usize) -> Event {
-        Self::decode(&self.buf[..self.len][i])
+    /// The `i`-th delivered event, `None` past the delivered count.
+    /// Indexed access lets the reactor walk the batch without
+    /// allocating (it mutates its slab while iterating, so it cannot
+    /// hold [`Events::iter`]'s borrow); the checked form keeps the
+    /// event loop panic-free (§10).
+    pub fn get(&self, i: usize) -> Option<Event> {
+        if i >= self.len {
+            return None;
+        }
+        self.buf.get(i).map(Self::decode)
     }
 
     fn decode(raw: &EpollEvent) -> Event {

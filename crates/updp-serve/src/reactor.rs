@@ -264,7 +264,7 @@ impl<'a> Worker<'a> {
             let fired = self.epoll.wait(&mut events, timeout)?;
             self.shard.wakeup();
             for i in 0..fired {
-                let event = events.get(i);
+                let Some(event) = events.get(i) else { break };
                 match event.token {
                     TOKEN_WAKE => self.pipe.drain(),
                     TOKEN_LISTENER => self.accept_ready(),
@@ -332,7 +332,9 @@ impl<'a> Worker<'a> {
             {
                 Ok(()) => {
                     conn.interest = interest;
-                    self.slab[idx] = Some(conn);
+                    if let Some(slot) = self.slab.get_mut(idx) {
+                        *slot = Some(conn);
+                    }
                 }
                 Err(_) => self.discard(idx, conn),
             }
@@ -390,7 +392,9 @@ impl<'a> Worker<'a> {
             }
             conn.interest = desired;
         }
-        self.slab[idx] = Some(conn);
+        if let Some(slot) = self.slab.get_mut(idx) {
+            *slot = Some(conn);
+        }
     }
 
     /// Drops the connection (closing the fd deregisters it) and
@@ -421,7 +425,7 @@ impl<'a> Worker<'a> {
             self.listener_active = false;
         }
         for idx in 0..self.slab.len() {
-            let Some(mut conn) = self.slab[idx].take() else {
+            let Some(mut conn) = self.slab.get_mut(idx).and_then(Option::take) else {
                 continue;
             };
             conn.closing = true;
@@ -437,7 +441,7 @@ impl<'a> Worker<'a> {
         }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             for idx in 0..self.slab.len() {
-                if let Some(conn) = self.slab[idx].take() {
+                if let Some(conn) = self.slab.get_mut(idx).and_then(Option::take) {
                     // Force-close with bytes still queued: aborted,
                     // not drained (so not via `discard`).
                     drop(conn);
@@ -456,7 +460,7 @@ impl<'a> Worker<'a> {
 /// true when the connection is dead.
 fn flush_out(conn: &mut Conn, shard: &ShardMetrics) -> bool {
     while conn.sent < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.sent..]) {
+        match conn.stream.write(conn.out.get(conn.sent..).unwrap_or(&[])) {
             Ok(0) => return true,
             Ok(n) => {
                 conn.sent += n;
@@ -532,6 +536,7 @@ fn read_and_dispatch(
         if conn.req_started.is_none() && shard.enabled() {
             conn.req_started = Some(Instant::now());
         }
+        // updp-lint: allow(R10, reason="io::Read contract bounds n by scratch.len(); a checked form would hide a shim bug instead of surfacing it")
         let requests = match conn.parser.feed(&scratch[..n]) {
             Ok(requests) => requests,
             Err(HttpError::Malformed(reason)) => {
